@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Colocation ablation: tail latency vs. number of co-located batch
+ * threads.
+ *
+ * Sec. II of the paper explains why datacenter servers idle at 5-30%
+ * utilization: "uncontrolled sharing of cores, caches, and power causes
+ * high and unpredictable tail latency degradation", so operators refuse
+ * to backfill spare capacity with batch work. This driver measures that
+ * degradation directly: a latency-critical app at a fixed 30% load,
+ * sharing the machine's LLC and DRAM bandwidth with 0..6 batch
+ * corunners.
+ *
+ * The discriminating result is the contrast between rows: moses (19.95
+ * L3 MPKI in Table I) melts down, xapian (0.02 L3 MPKI) is nearly
+ * immune, and silo sits in between — tiny absolute stall growth, but
+ * its requests are so short that the *relative* service-time hit is
+ * large and queueing amplifies it. This per-app spread is why
+ * interference-aware schedulers (Bubble-Up/Heracles) and cache
+ * partitioning (Ubik) need per-app sensitivity profiles rather than a
+ * single colocation policy.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "sim/sim_harness.h"
+
+using namespace tb;
+
+int
+main()
+{
+    const bench::BenchSettings s = bench::BenchSettings::fromEnv();
+
+    // One memory-bound app, one cache-resident app, one in between.
+    const std::vector<std::string> app_names = {"moses", "xapian",
+                                                "silo"};
+    const std::vector<unsigned> corunners = s.fast
+        ? std::vector<unsigned>{0, 4}
+        : std::vector<unsigned>{0, 1, 2, 4, 6};
+
+    bench::printHeader(
+        "Colocation ablation: p95 sojourn (ms) at 30% load vs. batch "
+        "corunners (LLC + DRAM-bandwidth interference)");
+
+    std::printf("%-10s", "app");
+    for (unsigned n : corunners)
+        std::printf(" %8u co", n);
+    std::printf("   worst/clean\n");
+
+    for (const auto& name : app_names) {
+        auto app = bench::makeBenchApp(name, s);
+        sim::SimHarness probe;
+        const double sat =
+            bench::calibrateSaturation(probe, *app, 1, s);
+        const uint64_t budget = bench::requestBudget(name, s);
+
+        std::printf("%-10s", name.c_str());
+        double clean = 0.0;
+        double worst = 0.0;
+        for (unsigned n : corunners) {
+            sim::MachineConfig mc;
+            mc.batchCorunners = n;
+            sim::SimHarness h(mc);
+            const core::RunResult r = bench::measureAt(
+                h, *app, 0.3 * sat, 1, budget, s.seed);
+            const double p95 =
+                static_cast<double>(r.latency.sojourn.p95Ns);
+            if (n == 0)
+                clean = p95;
+            worst = std::max(worst, p95);
+            std::printf(" %11s", bench::fmtMs(p95).c_str());
+        }
+        std::printf("   %9.2fx\n", clean > 0.0 ? worst / clean : 0.0);
+    }
+    std::printf(
+        "(check: moses degrades worst by far — with enough corunners "
+        "its 30%%-load point is pushed past saturation and p95 "
+        "diverges; xapian, whose shared-cache footprint is tiny "
+        "(Table I: 0.02 L3 MPKI), is nearly immune. silo's requests "
+        "are so short that even a few hundred ns of extra memory "
+        "stall time is a large relative service-time hit, which "
+        "queueing then amplifies)\n");
+    return 0;
+}

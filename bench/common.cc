@@ -1,0 +1,157 @@
+#include "bench/common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/methodology.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace tb::bench {
+
+BenchSettings
+BenchSettings::fromEnv()
+{
+    BenchSettings s;
+    if (const char* sz = std::getenv("TAILBENCH_SIZE"))
+        s.sizeFactor = std::atof(sz);
+    if (std::getenv("TAILBENCH_FAST"))
+        s.fast = true;
+    if (const char* sd = std::getenv("TAILBENCH_SEED"))
+        s.seed = static_cast<uint64_t>(std::atoll(sd));
+    return s;
+}
+
+std::unique_ptr<apps::App>
+makeBenchApp(const std::string& name, const BenchSettings& s)
+{
+    auto app = apps::makeApp(name);
+    apps::AppConfig cfg;
+    cfg.seed = s.seed;
+    cfg.sizeFactor = s.sizeFactor;
+    app->init(cfg);
+    return app;
+}
+
+uint64_t
+requestBudget(const std::string& app, const BenchSettings& s)
+{
+    // Budgets tuned so a single point takes single-digit seconds on a
+    // small host; tail percentiles remain stable at these counts.
+    // Short-request apps get large budgets for a second reason: their
+    // measurement window must be long in *wall-clock* terms, or a
+    // single scheduler preemption of the worker (~10 ms on a shared
+    // host) overlaps a big fraction of the run and lands squarely in
+    // the p95 (the "performance hysteresis" class of pitfall the
+    // paper's methodology ropes off with long, repeated runs).
+    uint64_t n = 2000;
+    if (app == "silo" || app == "specjbb")
+        n = 10000;
+    else if (app == "masstree")
+        n = 6000;
+    else if (app == "sphinx")
+        n = 250;
+    else if (app == "moses" || app == "xapian" || app == "img-dnn" ||
+             app == "shore")
+        n = 1000;
+    if (s.fast)
+        n = std::max<uint64_t>(150, n / 4);
+    return n;
+}
+
+double
+calibrateSaturation(core::Harness& harness, apps::App& app,
+                    unsigned threads, const BenchSettings& s)
+{
+    // Two-step calibration. The analytic estimate (threads / E[S] from
+    // a low-load probe) overestimates capacity for heavy-tailed apps —
+    // a small probe undersamples the expensive requests — and then
+    // every "50% load" point secretly runs near saturation. Refining
+    // against the *achieved* throughput under deliberate overload
+    // measures capacity directly, tails included.
+    const uint64_t probe = s.fast ? 150 : 400;
+    const double est = core::estimateSaturationQps(harness, app,
+                                                   threads, s.seed,
+                                                   probe);
+    core::HarnessConfig cfg;
+    cfg.qps = 2.5 * est;
+    cfg.workerThreads = threads;
+    cfg.warmupRequests = probe / 4;
+    cfg.measuredRequests = probe * 2;
+    cfg.seed = s.seed + 1;
+    const double achieved = harness.run(app, cfg).achievedQps;
+    // Guard against a degenerate overload run on a noisy host.
+    if (achieved > 0.05 * est && achieved < 1.5 * est)
+        return achieved;
+    return est;
+}
+
+RobustPoint
+measureAtRobust(core::Harness& harness, apps::App& app, double qps,
+                unsigned threads, uint64_t requests, uint64_t seed,
+                unsigned repeats)
+{
+    // Median across re-randomized runs: the paper's answer to
+    // performance hysteresis is repeated runs, and on a shared host the
+    // median (unlike the mean) also rejects the occasional run that a
+    // scheduler preemption ruins outright.
+    std::vector<double> mean;
+    std::vector<double> p95;
+    std::vector<double> p99;
+    std::vector<double> qps_seen;
+    for (unsigned rep = 0; rep < std::max(1u, repeats); rep++) {
+        const core::RunResult r =
+            measureAt(harness, app, qps, threads, requests,
+                      seed + 1000 * rep);
+        mean.push_back(r.latency.sojourn.meanNs);
+        p95.push_back(static_cast<double>(r.latency.sojourn.p95Ns));
+        p99.push_back(static_cast<double>(r.latency.sojourn.p99Ns));
+        qps_seen.push_back(r.achievedQps);
+    }
+    RobustPoint pt;
+    pt.meanNs = util::percentileOf(mean, 50.0);
+    pt.p95Ns = util::percentileOf(p95, 50.0);
+    pt.p99Ns = util::percentileOf(p99, 50.0);
+    pt.achievedQps = util::percentileOf(qps_seen, 50.0);
+    return pt;
+}
+
+core::RunResult
+measureAt(core::Harness& harness, apps::App& app, double qps,
+          unsigned threads, uint64_t requests, uint64_t seed,
+          bool keep_samples)
+{
+    core::HarnessConfig cfg;
+    cfg.qps = qps;
+    cfg.workerThreads = threads;
+    cfg.warmupRequests = std::max<uint64_t>(50, requests / 10);
+    cfg.measuredRequests = requests;
+    cfg.seed = seed;
+    cfg.keepSamples = keep_samples;
+    return harness.run(app, cfg);
+}
+
+std::vector<double>
+sweepFractions(const BenchSettings& s)
+{
+    if (s.fast)
+        return {0.2, 0.5, 0.8};
+    return {0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9};
+}
+
+void
+printHeader(const std::string& title)
+{
+    std::printf("\n### %s\n", title.c_str());
+}
+
+std::string
+fmtMs(double ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e6);
+    return buf;
+}
+
+}  // namespace tb::bench

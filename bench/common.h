@@ -1,0 +1,87 @@
+#ifndef TAILBENCH_BENCH_COMMON_H_
+#define TAILBENCH_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared infrastructure for the per-table / per-figure benchmark drivers.
+ *
+ * Environment knobs:
+ *   TAILBENCH_SIZE  dataset size factor (default 0.25; paper-scale = 1.0)
+ *   TAILBENCH_FAST  if set, cut sweep points and request counts ~4x
+ *                   (smoke mode for CI)
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/common/app.h"
+#include "core/harness.h"
+
+namespace tb::bench {
+
+/** Global bench settings parsed from the environment. */
+struct BenchSettings {
+    double sizeFactor = 0.25;
+    bool fast = false;
+    uint64_t seed = 42;
+
+    static BenchSettings fromEnv();
+};
+
+/** Builds and initializes an app at bench scale. */
+std::unique_ptr<apps::App> makeBenchApp(const std::string& name,
+                                        const BenchSettings& s);
+
+/**
+ * Per-app request-count budget for one measurement point, sized so slow
+ * apps (sphinx) stay tractable while fast apps (silo) get enough samples
+ * for a stable p95.
+ */
+uint64_t requestBudget(const std::string& app, const BenchSettings& s);
+
+/**
+ * Measures saturation QPS of (app, harness, threads): analytic
+ * estimate from a low-load service probe, refined against achieved
+ * throughput under deliberate overload (robust to heavy-tailed service
+ * distributions, which the probe undersamples).
+ */
+double calibrateSaturation(core::Harness& harness, apps::App& app,
+                           unsigned threads, const BenchSettings& s);
+
+/** One latency measurement at a fixed offered load. */
+core::RunResult measureAt(core::Harness& harness, apps::App& app,
+                          double qps, unsigned threads, uint64_t requests,
+                          uint64_t seed, bool keep_samples = false);
+
+/** Median-of-repeats latency point (robust to host scheduling noise). */
+struct RobustPoint {
+    double meanNs = 0.0;
+    double p95Ns = 0.0;
+    double p99Ns = 0.0;
+    double achievedQps = 0.0;
+};
+
+/**
+ * Measures a latency point as the per-metric median across @p repeats
+ * re-randomized runs (the paper's repeated-runs methodology; the median
+ * additionally rejects preemption-ruined runs on shared hosts).
+ */
+RobustPoint measureAtRobust(core::Harness& harness, apps::App& app,
+                            double qps, unsigned threads,
+                            uint64_t requests, uint64_t seed,
+                            unsigned repeats = 3);
+
+/** Load fractions for latency-vs-QPS sweeps (trimmed in fast mode). */
+std::vector<double> sweepFractions(const BenchSettings& s);
+
+/** Prints a "### <title>" header so bench output is greppable. */
+void printHeader(const std::string& title);
+
+/** Formats nanoseconds as milliseconds with 3 decimals. */
+std::string fmtMs(double ns);
+
+}  // namespace tb::bench
+
+#endif  // TAILBENCH_BENCH_COMMON_H_

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Fig. 3: mean, 95th-, and 99th-percentile sojourn latency for
+ * each application across a range of request rates (single worker thread,
+ * integrated configuration).
+ *
+ * Expected shape (paper Sec. V): hockey-stick growth with load; tail
+ * latencies rise much faster than the mean; the tail/mean gap is larger
+ * for apps with more variable service times.
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/integrated_harness.h"
+
+using namespace tb;
+
+int
+main()
+{
+    const bench::BenchSettings s = bench::BenchSettings::fromEnv();
+    bench::printHeader(
+        "Fig. 3: latency vs. QPS (1 worker, integrated config)");
+
+    for (const auto& name : apps::appNames()) {
+        auto app = bench::makeBenchApp(name, s);
+        core::IntegratedHarness h;
+        const double sat = bench::calibrateSaturation(h, *app, 1, s);
+        const uint64_t budget = bench::requestBudget(name, s);
+
+        std::printf("\n%s (sat ~ %.0f qps)\n", name.c_str(), sat);
+        std::printf("  %10s %12s %12s %12s\n", "qps", "mean_ms",
+                    "p95_ms", "p99_ms");
+        for (double f : bench::sweepFractions(s)) {
+            const double qps = f * sat;
+            const core::RunResult r = bench::measureAt(
+                h, *app, qps, 1, budget,
+                s.seed + static_cast<uint64_t>(f * 100));
+            std::printf("  %10.1f %12s %12s %12s\n", qps,
+                        bench::fmtMs(r.latency.sojourn.meanNs).c_str(),
+                        bench::fmtMs(static_cast<double>(
+                            r.latency.sojourn.p95Ns)).c_str(),
+                        bench::fmtMs(static_cast<double>(
+                            r.latency.sojourn.p99Ns)).c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Fig. 5: 95th-percentile latency vs. QPS for single-threaded
+ * instances of each application, across the four setups — networked,
+ * loopback, integrated (real time) and simulation (virtual time).
+ *
+ * Expected results (paper Sec. VI-B): the three real-system setups nearly
+ * coincide for the six longer-request apps; for the short-request apps,
+ * networked/loopback saturate earlier than integrated (paper: -23%
+ * specjbb, -39% silo); simulation shows the same shape at a
+ * constant-factor QPS offset. The driver prints the saturation deltas.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+#include "core/integrated_harness.h"
+#include "net/server_harness.h"
+#include "sim/sim_harness.h"
+
+using namespace tb;
+
+int
+main()
+{
+    const bench::BenchSettings s = bench::BenchSettings::fromEnv();
+    bench::printHeader(
+        "Fig. 5: p95 vs. QPS across harness configurations (1 thread)");
+
+    core::IntegratedHarness integrated;
+    net::LoopbackHarness loopback;
+    net::NetworkedHarness networked;
+    sim::SimHarness simulation;
+    core::Harness* configs[] = {&networked, &loopback, &integrated,
+                                &simulation};
+
+    for (const auto& name : apps::appNames()) {
+        auto app = bench::makeBenchApp(name, s);
+        const double sat =
+            bench::calibrateSaturation(integrated, *app, 1, s);
+        const uint64_t budget = bench::requestBudget(name, s);
+
+        std::printf("\n%s (integrated sat ~ %.0f qps)\n", name.c_str(),
+                    sat);
+        std::printf("  %10s %12s %12s %12s %12s\n", "qps",
+                    "networked", "loopback", "integrated", "simulation");
+        for (double f : bench::sweepFractions(s)) {
+            const double qps = f * sat;
+            std::printf("  %10.1f", qps);
+            for (core::Harness* h : configs) {
+                const core::RunResult r = bench::measureAt(
+                    *h, *app, qps, 1, budget,
+                    s.seed + static_cast<uint64_t>(f * 1000));
+                std::printf(" %12s",
+                            bench::fmtMs(static_cast<double>(
+                                r.latency.sojourn.p95Ns)).c_str());
+            }
+            std::printf("\n");
+        }
+
+        // Saturation throughput per configuration (heavy overload).
+        std::printf("  saturation qps:");
+        std::map<std::string, double> sat_qps;
+        for (core::Harness* h : configs) {
+            const core::RunResult r = bench::measureAt(
+                *h, *app, 2.5 * sat, 1,
+                std::max<uint64_t>(200, budget / 2), s.seed + 99);
+            sat_qps[h->configName()] = r.achievedQps;
+            std::printf(" %s:%.0f", h->configName().c_str(),
+                        r.achievedQps);
+        }
+        const double delta = 100.0 *
+            (sat_qps["integrated"] - sat_qps["networked"]) /
+            sat_qps["integrated"];
+        std::printf("\n  networked-vs-integrated saturation delta: "
+                    "%.0f%% (paper: 39%% silo, 23%% specjbb, small "
+                    "otherwise)\n", delta);
+    }
+    return 0;
+}

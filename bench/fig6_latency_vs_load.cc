@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Fig. 6: 95th-percentile latency for shore and img-dnn as a
+ * function of system LOAD (fraction of each configuration's own
+ * saturation) rather than absolute QPS.
+ *
+ * The paper's point: simulation has a constant performance error, so
+ * real and simulated curves that are offset in QPS (Fig. 5) nearly
+ * coincide when re-plotted against load. The driver prints, per load
+ * level, the p95 of each configuration driven at that fraction of its
+ * OWN saturation rate.
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/integrated_harness.h"
+#include "net/server_harness.h"
+#include "sim/sim_harness.h"
+
+using namespace tb;
+
+int
+main()
+{
+    const bench::BenchSettings s = bench::BenchSettings::fromEnv();
+    bench::printHeader(
+        "Fig. 6: p95 vs. load for shore and img-dnn (4 setups)");
+
+    core::IntegratedHarness integrated;
+    net::LoopbackHarness loopback;
+    net::NetworkedHarness networked;
+    sim::SimHarness simulation;
+    core::Harness* configs[] = {&networked, &loopback, &integrated,
+                                &simulation};
+
+    for (const auto& name : {std::string("shore"),
+                             std::string("img-dnn")}) {
+        auto app = bench::makeBenchApp(name, s);
+        const uint64_t budget = bench::requestBudget(name, s);
+
+        // Per-config saturation: the x-axis is load relative to each
+        // configuration's own capacity.
+        double sat[4];
+        for (int c = 0; c < 4; c++)
+            sat[c] = bench::calibrateSaturation(*configs[c], *app, 1, s);
+
+        std::printf("\n%s (sat: networked %.0f, loopback %.0f, "
+                    "integrated %.0f, simulation %.0f qps)\n",
+                    name.c_str(), sat[0], sat[1], sat[2], sat[3]);
+        std::printf("  %6s %12s %12s %12s %12s\n", "load", "networked",
+                    "loopback", "integrated", "simulation");
+        for (double f : bench::sweepFractions(s)) {
+            std::printf("  %6.2f", f);
+            for (int c = 0; c < 4; c++) {
+                const core::RunResult r = bench::measureAt(
+                    *configs[c], *app, f * sat[c], 1, budget,
+                    s.seed + static_cast<uint64_t>(f * 1000));
+                std::printf(" %12s",
+                            bench::fmtMs(static_cast<double>(
+                                r.latency.sojourn.p95Ns)).c_str());
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\nExpect all four columns to be close at each load "
+                "level (the paper's Fig. 6 claim).\n");
+    return 0;
+}

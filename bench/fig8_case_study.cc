@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reproduces Fig. 8 (Sec. VII case study): why do moses and silo scale
+ * poorly with thread count — synchronization or memory contention?
+ *
+ * Method, exactly as in the paper:
+ *  1. Measure each app's single-threaded service-time distribution.
+ *  2. Predict latency-vs-load with an M/G/n queueing model (n = threads):
+ *     what would happen if adding threads had NO overhead.
+ *  3. Simulate the app on an IDEALIZED memory system (zero-latency,
+ *     infinite-bandwidth DRAM) with 1 and 4 threads.
+ *  4. Compare: if ideal-memory simulation tracks M/G/4, the real
+ *     degradation was memory contention (moses); if it still falls short,
+ *     synchronization is the culprit (silo).
+ *
+ * All latencies are normalized to the app's low-load single-thread p95,
+ * as in the paper's figure.
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "queueing/mgn_sim.h"
+#include "sim/sim_harness.h"
+
+using namespace tb;
+
+int
+main()
+{
+    const bench::BenchSettings s = bench::BenchSettings::fromEnv();
+    bench::printHeader(
+        "Fig. 8: M/G/n model vs. ideal-memory simulation (moses, silo)");
+
+    for (const auto& name : {std::string("moses"), std::string("silo")}) {
+        auto app = bench::makeBenchApp(name, s);
+
+        sim::MachineConfig ideal_mc;
+        ideal_mc.idealMemory = true;
+        sim::SimHarness ideal(ideal_mc);
+
+        // Single-thread service distribution on the ideal-memory system
+        // (the M/G/n model must use the same service times it is being
+        // compared against).
+        const uint64_t budget = 2 * bench::requestBudget(name, s);
+        const core::RunResult base = bench::measureAt(
+            ideal, *app, 0.05 * bench::calibrateSaturation(ideal, *app,
+                                                           1, s),
+            1, budget, s.seed, true);
+        std::vector<int64_t> service;
+        for (const auto& t : base.samples)
+            service.push_back(t.serviceNs());
+        const double sat1 =
+            1e9 / base.latency.service.meanNs;
+        const double norm =
+            static_cast<double>(base.latency.sojourn.p95Ns);
+
+        std::printf("\n%s (ideal-mem 1-thread sat ~ %.0f qps; "
+                    "normalized to low-load p95 = %s ms)\n",
+                    name.c_str(), sat1, bench::fmtMs(norm).c_str());
+        std::printf("  %10s %10s %10s %14s %14s\n", "qps/thr",
+                    "M/G/1", "M/G/4", "IdealMem(1T)", "IdealMem(4T)");
+
+        for (double f : bench::sweepFractions(s)) {
+            const double per_thread = f * sat1;
+            double cols[4];
+
+            // M/G/n queueing model predictions.
+            for (int i = 0; i < 2; i++) {
+                const unsigned n = i == 0 ? 1 : 4;
+                queueing::MgnConfig qc;
+                qc.lambda = per_thread * n;
+                qc.servers = n;
+                qc.warmup = 2000;
+                qc.measured = s.fast ? 20'000 : 60'000;
+                qc.seed = s.seed + n;
+                const queueing::MgnResult qr =
+                    queueing::simulateMgn(service, qc);
+                cols[i] = static_cast<double>(qr.sojourn.p95Ns) / norm;
+            }
+
+            // Ideal-memory full simulation (sync model active).
+            for (int i = 0; i < 2; i++) {
+                const unsigned n = i == 0 ? 1 : 4;
+                const core::RunResult r = bench::measureAt(
+                    ideal, *app, per_thread * n, n, budget,
+                    s.seed + 31 + n);
+                cols[2 + i] =
+                    static_cast<double>(r.latency.sojourn.p95Ns) / norm;
+            }
+
+            std::printf("  %10.1f %10.2f %10.2f %14.2f %14.2f\n",
+                        per_thread, cols[0], cols[1], cols[2], cols[3]);
+        }
+        std::printf("  reading: IdealMem(4T) ~ M/G/4 => memory-bound "
+                    "degradation (paper: moses); IdealMem(4T) >> M/G/4 "
+                    "=> synchronization-bound (paper: silo).\n");
+    }
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): the harness's hot-path
+ * primitives and each application's request-processing cost. These are
+ * the costs that must stay small relative to request interarrival gaps
+ * for the open-loop methodology to hold.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/common/app.h"
+#include "apps/common/bptree.h"
+#include "core/request_queue.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace tb;
+
+void
+BM_RngNext(benchmark::State& state)
+{
+    util::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_RngExponential(benchmark::State& state)
+{
+    util::Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.nextExponential(1000.0));
+}
+BENCHMARK(BM_RngExponential);
+
+void
+BM_ZipfNext(benchmark::State& state)
+{
+    util::ZipfianGenerator zipf(static_cast<uint64_t>(state.range(0)),
+                                0.99);
+    util::Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.next(rng));
+}
+BENCHMARK(BM_ZipfNext)->Arg(1000)->Arg(100000)->Arg(10000000);
+
+void
+BM_HistogramRecord(benchmark::State& state)
+{
+    util::HdrHistogram h;
+    util::Rng rng(4);
+    for (auto _ : state)
+        h.record(1000 + rng.nextInt(1'000'000'000));
+    benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_HistogramPercentile(benchmark::State& state)
+{
+    util::HdrHistogram h;
+    util::Rng rng(5);
+    for (int i = 0; i < 100000; i++)
+        h.record(1000 + rng.nextInt(1'000'000'000));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(h.percentile(95.0));
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void
+BM_RequestQueuePushPop(benchmark::State& state)
+{
+    core::RequestQueue q;
+    for (auto _ : state) {
+        core::Request r;
+        r.id = 1;
+        r.payload = "x";
+        q.push(std::move(r));
+        core::Request out;
+        q.pop(out);
+        benchmark::DoNotOptimize(out.id);
+    }
+}
+BENCHMARK(BM_RequestQueuePushPop);
+
+void
+BM_BPlusTreeFind(benchmark::State& state)
+{
+    apps::BPlusTree<uint64_t> tree;
+    util::Rng rng(6);
+    const uint64_t n = static_cast<uint64_t>(state.range(0));
+    for (uint64_t i = 0; i < n; i++)
+        tree.insert(i * 0x9e3779b97f4a7c15ull, i);
+    for (auto _ : state) {
+        const uint64_t k = rng.nextInt(n) * 0x9e3779b97f4a7c15ull;
+        benchmark::DoNotOptimize(tree.find(k));
+    }
+}
+BENCHMARK(BM_BPlusTreeFind)->Arg(10000)->Arg(1000000);
+
+void
+BM_BPlusTreeInsert(benchmark::State& state)
+{
+    apps::BPlusTree<uint64_t> tree;
+    util::Rng rng(7);
+    for (auto _ : state)
+        tree.insert(rng.next(), 1);
+    benchmark::DoNotOptimize(tree.size());
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+/** Per-application request processing cost (integrated-config hot path).
+ * Apps use small datasets so fixture setup stays quick; relative
+ * ordering across apps is what matters (Table I). */
+class AppFixture : public benchmark::Fixture {
+  public:
+    void
+    SetUp(const benchmark::State& state) override
+    {
+        static const char* names[] = {"xapian", "masstree", "moses",
+                                      "sphinx", "img-dnn", "specjbb",
+                                      "silo", "shore"};
+        const int idx = static_cast<int>(state.range(0));
+        app = apps::makeApp(names[idx]);
+        apps::AppConfig cfg;
+        cfg.seed = 42;
+        cfg.sizeFactor = 0.1;
+        app->init(cfg);
+        app->setRealtimeIo(false);
+        rng = std::make_unique<util::Rng>(9);
+    }
+
+    void
+    TearDown(const benchmark::State&) override
+    {
+        app.reset();
+    }
+
+    std::unique_ptr<apps::App> app;
+    std::unique_ptr<util::Rng> rng;
+};
+
+BENCHMARK_DEFINE_F(AppFixture, ProcessRequest)(benchmark::State& state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        const std::string req = app->genRequest(*rng);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(app->process(req));
+    }
+}
+BENCHMARK_REGISTER_F(AppFixture, ProcessRequest)
+    ->DenseRange(0, 7)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();
