@@ -1,0 +1,26 @@
+#include "apps/common/app.h"
+
+#include <stdexcept>
+
+#include "apps/common/workloads.h"
+
+namespace tb::apps {
+
+App::~App() = default;
+
+const std::vector<std::string>&
+appNames()
+{
+    return syntheticAppNames();
+}
+
+std::unique_ptr<App>
+makeApp(const std::string& name)
+{
+    std::unique_ptr<App> app = makeSyntheticApp(name);
+    if (app == nullptr)
+        throw std::invalid_argument("unknown TailBench app: " + name);
+    return app;
+}
+
+}  // namespace tb::apps

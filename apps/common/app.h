@@ -1,0 +1,121 @@
+#ifndef TAILBENCH_APPS_COMMON_APP_H_
+#define TAILBENCH_APPS_COMMON_APP_H_
+
+/**
+ * @file
+ * The TailBench application interface.
+ *
+ * Every workload — kv stores (silo, masstree), search (xapian,
+ * sphinx), ML inference (img-dnn), translation (moses), OLTP (shore),
+ * middleware (specjbb) — sits behind this interface so the harnesses
+ * (core/, sim/, net/) can drive any of them interchangeably:
+ *
+ *   generator thread:  payload = app.genRequest(rng)
+ *   worker thread:     checksum = app.process(payload)
+ *
+ * genRequest() is called only from the load generator; process() may
+ * be called concurrently from many worker threads and must be
+ * thread-safe over a read-mostly dataset built by init().
+ *
+ * Reproducibility contract: the service time a request induces is a
+ * deterministic function of (payload, AppConfig::seed), exposed via
+ * serviceNsFor(). The same seed therefore yields the same service-time
+ * distribution run after run — the property the whole methodology's
+ * repeated-runs comparisons rest on.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tb::apps {
+
+/** Per-app scale and seeding, set once via App::init(). */
+struct AppConfig {
+    uint64_t seed = 42;
+    /** Dataset size factor; 1.0 = paper scale, default bench 0.25. */
+    double sizeFactor = 0.25;
+};
+
+/**
+ * Static characterization of a workload: the paper's Table I
+ * microarchitectural profile (MPKI targets for the cache-hierarchy
+ * simulator) plus the service-time taxonomy the synthetic kernel
+ * implements. Values are per-app constants, not measurements.
+ */
+struct AppProfile {
+    double l1iMpki = 0.0;
+    double l1dMpki = 0.0;
+    double l2Mpki = 0.0;
+    double l3MpkiFull = 0.0;
+    double branchMpki = 0.0;
+    /** Mean service time at sizeFactor = 1.0, microseconds. */
+    double meanServiceUs = 0.0;
+    /** Lognormal shape of the service distribution (0 ~ constant). */
+    double serviceSigma = 0.0;
+    /** Probability / multiplier of the heavy-tail mixture component. */
+    double tailProb = 0.0;
+    double tailMult = 1.0;
+};
+
+class App {
+  public:
+    virtual ~App();
+
+    virtual const std::string& name() const = 0;
+
+    /** Builds the dataset; must be called before any other method. */
+    virtual void init(const AppConfig& cfg) = 0;
+
+    /**
+     * Produces one request payload. Single-threaded (generator only);
+     * all randomness comes from @p rng, so a seeded Rng reproduces the
+     * exact request stream.
+     */
+    virtual std::string genRequest(util::Rng& rng) = 0;
+
+    /**
+     * Processes one request, doing real work against the dataset for
+     * the request's deterministic service time. Thread-safe. Returns a
+     * checksum so the work cannot be optimized away.
+     */
+    virtual uint64_t process(const std::string& request) = 0;
+
+    /**
+     * The deterministic model service time (ns) for @p request at the
+     * current config — what process() targets. Used for
+     * reproducibility checks and by the virtual-time simulator.
+     */
+    virtual int64_t serviceNsFor(const std::string& request) const = 0;
+
+    virtual AppProfile profile() const = 0;
+
+    /**
+     * When false, process() performs a fixed amount of work derived
+     * from the model service time instead of pacing against the real
+     * clock. Microbenchmarks use this to measure pure compute cost;
+     * harness runs leave it on.
+     */
+    void setRealtimeIo(bool on) { realtime_io_ = on; }
+    bool realtimeIo() const { return realtime_io_; }
+
+  protected:
+    bool realtime_io_ = true;
+};
+
+/**
+ * The eight TailBench workloads, in the paper's Table I order:
+ * xapian, masstree, moses, sphinx, img-dnn, specjbb, silo, shore.
+ */
+const std::vector<std::string>& appNames();
+
+/** Instantiates an app by name; throws std::invalid_argument on an
+ * unknown name. init() must still be called. */
+std::unique_ptr<App> makeApp(const std::string& name);
+
+}  // namespace tb::apps
+
+#endif  // TAILBENCH_APPS_COMMON_APP_H_

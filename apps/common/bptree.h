@@ -1,0 +1,250 @@
+#ifndef TAILBENCH_APPS_COMMON_BPTREE_H_
+#define TAILBENCH_APPS_COMMON_BPTREE_H_
+
+/**
+ * @file
+ * In-memory B+ tree keyed by uint64_t, used by the kv-style TailBench
+ * apps (silo, masstree, specjbb, shore) as their request-processing
+ * data structure.
+ *
+ * Design: classic order-32 B+ tree; values live only in leaves; leaves
+ * are chained for range scans. insert() is an upsert. Writes are
+ * single-threaded (dataset construction at init); concurrent find()
+ * and scanFrom() from worker threads are safe once loading stops,
+ * which is the access pattern the harness produces.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tb::apps {
+
+template <typename V>
+class BPlusTree {
+  public:
+    BPlusTree() = default;
+    ~BPlusTree() { destroy(root_); }
+    BPlusTree(const BPlusTree&) = delete;
+    BPlusTree& operator=(const BPlusTree&) = delete;
+
+    /** Inserts or overwrites; size() counts distinct keys. */
+    void
+    insert(uint64_t key, const V& val)
+    {
+        if (root_ == nullptr) {
+            Leaf* leaf = new Leaf();
+            leaf->keys[0] = key;
+            leaf->vals[0] = val;
+            leaf->n = 1;
+            root_ = leaf;
+            size_ = 1;
+            return;
+        }
+        Split split;
+        if (insertInto(root_, key, val, &split)) {
+            Internal* nroot = new Internal();
+            nroot->keys[0] = split.key;
+            nroot->kids[0] = root_;
+            nroot->kids[1] = split.right;
+            nroot->n = 1;
+            root_ = nroot;
+        }
+    }
+
+    /** Pointer to the value, or nullptr; stable until the next insert. */
+    const V*
+    find(uint64_t key) const
+    {
+        const Node* node = root_;
+        if (node == nullptr)
+            return nullptr;
+        while (!node->leaf) {
+            const Internal* in = static_cast<const Internal*>(node);
+            node = in->kids[childIndex(in, key)];
+        }
+        const Leaf* leaf = static_cast<const Leaf*>(node);
+        const int pos = lowerBound(leaf, key);
+        if (pos < leaf->n && leaf->keys[pos] == key)
+            return &leaf->vals[pos];
+        return nullptr;
+    }
+
+    /**
+     * Visits up to @p limit entries with key >= @p key in ascending
+     * order; fn(key, value). Returns the number visited.
+     */
+    template <typename F>
+    size_t
+    scanFrom(uint64_t key, size_t limit, F&& fn) const
+    {
+        const Node* node = root_;
+        if (node == nullptr || limit == 0)
+            return 0;
+        while (!node->leaf) {
+            const Internal* in = static_cast<const Internal*>(node);
+            node = in->kids[childIndex(in, key)];
+        }
+        const Leaf* leaf = static_cast<const Leaf*>(node);
+        int pos = lowerBound(leaf, key);
+        size_t visited = 0;
+        while (leaf != nullptr && visited < limit) {
+            if (pos >= leaf->n) {
+                leaf = leaf->next;
+                pos = 0;
+                continue;
+            }
+            fn(leaf->keys[pos], leaf->vals[pos]);
+            visited++;
+            pos++;
+        }
+        return visited;
+    }
+
+    size_t size() const { return size_; }
+
+  private:
+    // Max keys per node; arrays hold one extra slot so a node may
+    // temporarily overflow before splitting.
+    static constexpr int kMaxKeys = 32;
+
+    struct Node {
+        bool leaf = false;
+        int n = 0;
+        uint64_t keys[kMaxKeys + 1];
+    };
+    struct Leaf : Node {
+        Leaf() { this->leaf = true; }
+        V vals[kMaxKeys + 1];
+        Leaf* next = nullptr;
+    };
+    struct Internal : Node {
+        Node* kids[kMaxKeys + 2];
+    };
+
+    struct Split {
+        uint64_t key = 0;
+        Node* right = nullptr;
+    };
+
+    /** First position with keys[pos] >= key. */
+    static int
+    lowerBound(const Node* node, uint64_t key)
+    {
+        int lo = 0;
+        int hi = node->n;
+        while (lo < hi) {
+            const int mid = (lo + hi) / 2;
+            if (node->keys[mid] < key)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    /** Child to descend into: first position with key < keys[pos]. */
+    static int
+    childIndex(const Internal* in, uint64_t key)
+    {
+        int lo = 0;
+        int hi = in->n;
+        while (lo < hi) {
+            const int mid = (lo + hi) / 2;
+            if (in->keys[mid] <= key)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    /** Returns true if the node split; *out describes the new right
+     * sibling and the key to promote. */
+    bool
+    insertInto(Node* node, uint64_t key, const V& val, Split* out)
+    {
+        if (node->leaf) {
+            Leaf* leaf = static_cast<Leaf*>(node);
+            const int pos = lowerBound(leaf, key);
+            if (pos < leaf->n && leaf->keys[pos] == key) {
+                leaf->vals[pos] = val;
+                return false;
+            }
+            for (int i = leaf->n; i > pos; i--) {
+                leaf->keys[i] = leaf->keys[i - 1];
+                leaf->vals[i] = leaf->vals[i - 1];
+            }
+            leaf->keys[pos] = key;
+            leaf->vals[pos] = val;
+            leaf->n++;
+            size_++;
+            if (leaf->n <= kMaxKeys)
+                return false;
+            // Split: left keeps half, right gets the rest; the right
+            // sibling's first key is promoted (copied, B+ style).
+            Leaf* right = new Leaf();
+            const int keep = leaf->n / 2;
+            right->n = leaf->n - keep;
+            for (int i = 0; i < right->n; i++) {
+                right->keys[i] = leaf->keys[keep + i];
+                right->vals[i] = leaf->vals[keep + i];
+            }
+            leaf->n = keep;
+            right->next = leaf->next;
+            leaf->next = right;
+            out->key = right->keys[0];
+            out->right = right;
+            return true;
+        }
+
+        Internal* in = static_cast<Internal*>(node);
+        const int ci = childIndex(in, key);
+        Split child_split;
+        if (!insertInto(in->kids[ci], key, val, &child_split))
+            return false;
+        // Insert the promoted key and new right child at position ci.
+        for (int i = in->n; i > ci; i--) {
+            in->keys[i] = in->keys[i - 1];
+            in->kids[i + 1] = in->kids[i];
+        }
+        in->keys[ci] = child_split.key;
+        in->kids[ci + 1] = child_split.right;
+        in->n++;
+        if (in->n <= kMaxKeys)
+            return false;
+        // Split internal: middle key moves up (not copied).
+        Internal* right = new Internal();
+        const int mid = in->n / 2;
+        right->n = in->n - mid - 1;
+        for (int i = 0; i < right->n; i++)
+            right->keys[i] = in->keys[mid + 1 + i];
+        for (int i = 0; i <= right->n; i++)
+            right->kids[i] = in->kids[mid + 1 + i];
+        out->key = in->keys[mid];
+        out->right = right;
+        in->n = mid;
+        return true;
+    }
+
+    void
+    destroy(Node* node)
+    {
+        if (node == nullptr)
+            return;
+        if (node->leaf) {
+            delete static_cast<Leaf*>(node);
+            return;
+        }
+        Internal* in = static_cast<Internal*>(node);
+        for (int i = 0; i <= in->n; i++)
+            destroy(in->kids[i]);
+        delete in;
+    }
+
+    Node* root_ = nullptr;
+    size_t size_ = 0;
+};
+
+}  // namespace tb::apps
+
+#endif  // TAILBENCH_APPS_COMMON_BPTREE_H_

@@ -1,0 +1,27 @@
+#ifndef TAILBENCH_APPS_COMMON_WORKLOADS_H_
+#define TAILBENCH_APPS_COMMON_WORKLOADS_H_
+
+/**
+ * @file
+ * Internal factory for the in-process synthetic TailBench kernels.
+ * External code goes through apps::makeApp() (app.h); this header
+ * exists so the registry and the kernel implementations can live in
+ * separate translation units.
+ */
+
+#include <memory>
+#include <string>
+
+#include "apps/common/app.h"
+
+namespace tb::apps {
+
+/** Returns nullptr for an unknown name. */
+std::unique_ptr<App> makeSyntheticApp(const std::string& name);
+
+/** Names of all synthetic workloads, Table I order. */
+const std::vector<std::string>& syntheticAppNames();
+
+}  // namespace tb::apps
+
+#endif  // TAILBENCH_APPS_COMMON_WORKLOADS_H_

@@ -1,0 +1,88 @@
+#include "core/harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace tb::core {
+
+Harness::~Harness() = default;
+
+namespace {
+
+/** percentileOf's type-7 definition, but over an already-sorted
+ * vector so one sort serves all three percentiles. */
+int64_t
+percentileSorted(const std::vector<int64_t>& sorted, double pct)
+{
+    const double rank = pct / 100.0 *
+        static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = rank - static_cast<double>(lo);
+    return static_cast<int64_t>(std::llround(
+        static_cast<double>(sorted[lo]) +
+        frac * static_cast<double>(sorted[lo + 1] - sorted[lo])));
+}
+
+}  // namespace
+
+LatencySummary
+summarizeNs(const std::vector<int64_t>& samples)
+{
+    LatencySummary s;
+    s.count = samples.size();
+    if (samples.empty())
+        return s;
+    std::vector<int64_t> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    s.meanNs = util::meanOf(sorted);
+    s.p50Ns = percentileSorted(sorted, 50.0);
+    s.p95Ns = percentileSorted(sorted, 95.0);
+    s.p99Ns = percentileSorted(sorted, 99.0);
+    return s;
+}
+
+RunResult
+buildRunResult(std::vector<RequestTiming>&& timings, bool keepSamples)
+{
+    RunResult r;
+    if (timings.empty())
+        return r;
+    std::sort(timings.begin(), timings.end(),
+              [](const RequestTiming& a, const RequestTiming& b) {
+                  return a.genNs < b.genNs;
+              });
+
+    std::vector<int64_t> sojourn;
+    std::vector<int64_t> queueing;
+    std::vector<int64_t> service;
+    sojourn.reserve(timings.size());
+    queueing.reserve(timings.size());
+    service.reserve(timings.size());
+    int64_t last_end = timings.front().endNs;
+    for (const RequestTiming& t : timings) {
+        sojourn.push_back(t.sojournNs());
+        queueing.push_back(t.queueNs());
+        service.push_back(t.serviceNs());
+        last_end = std::max(last_end, t.endNs);
+    }
+    r.latency.sojourn = summarizeNs(sojourn);
+    r.latency.queueing = summarizeNs(queueing);
+    r.latency.service = summarizeNs(service);
+
+    // Span: first measured arrival to last measured completion. Under
+    // overload completions stretch the span, so achieved < offered.
+    const int64_t span = last_end - timings.front().genNs;
+    if (span > 0)
+        r.achievedQps = static_cast<double>(timings.size()) * 1e9 /
+            static_cast<double>(span);
+
+    if (keepSamples)
+        r.samples = std::move(timings);
+    return r;
+}
+
+}  // namespace tb::core

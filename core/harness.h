@@ -1,0 +1,104 @@
+#ifndef TAILBENCH_CORE_HARNESS_H_
+#define TAILBENCH_CORE_HARNESS_H_
+
+/**
+ * @file
+ * The harness contract every configuration implements: integrated
+ * (core/), networked and loopback (net/), and virtual-time simulation
+ * (sim/). A harness drives an app with an open-loop Poisson request
+ * stream and reports the latency decomposition the methodology needs:
+ *
+ *   sojourn  = completion - generation   (what the client experiences)
+ *   queueing = service start - generation
+ *   service  = completion - service start
+ *
+ * Requests are timestamped at *generation* time, before any queue is
+ * involved, which is what makes the measurement free of coordinated
+ * omission: a slow server cannot throttle the arrival process or hide
+ * the waiting it causes.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/common/app.h"
+
+namespace tb::core {
+
+struct HarnessConfig {
+    /** Offered load: mean arrival rate of the Poisson process. */
+    double qps = 1000.0;
+    unsigned workerThreads = 1;
+    /** Leading requests processed but excluded from every statistic
+     * (warmup separation; caches, allocator, branch predictors). */
+    uint64_t warmupRequests = 0;
+    uint64_t measuredRequests = 1000;
+    uint64_t seed = 42;
+    /** Keep per-request timings in RunResult::samples. */
+    bool keepSamples = false;
+};
+
+/** Timestamps of one request's life cycle, all from the same
+ * monotonic clock. */
+struct RequestTiming {
+    int64_t genNs = 0;    // scheduled generation (arrival) time
+    int64_t startNs = 0;  // worker begins service
+    int64_t endNs = 0;    // completion
+
+    int64_t sojournNs() const { return endNs - genNs; }
+    int64_t serviceNs() const { return endNs - startNs; }
+    int64_t queueNs() const { return startNs - genNs; }
+};
+
+struct LatencySummary {
+    double meanNs = 0.0;
+    int64_t p50Ns = 0;
+    int64_t p95Ns = 0;
+    int64_t p99Ns = 0;
+    uint64_t count = 0;
+};
+
+struct LatencyReport {
+    LatencySummary sojourn;
+    LatencySummary queueing;
+    LatencySummary service;
+};
+
+struct RunResult {
+    /** Measured completions / measured wall-clock span. */
+    double achievedQps = 0.0;
+    LatencyReport latency;
+    /** Per-request timings (measured window only), in generation
+     * order; populated only when HarnessConfig::keepSamples. */
+    std::vector<RequestTiming> samples;
+};
+
+class Harness {
+  public:
+    virtual ~Harness();
+
+    /** Runs one measurement: warmup + measured requests at cfg.qps. */
+    virtual RunResult run(apps::App& app, const HarnessConfig& cfg) = 0;
+
+    /** "integrated", "loopback", "networked", "simulation". */
+    virtual std::string configName() const = 0;
+};
+
+/** Exact summary statistics over a sample vector (harness-internal
+ * collection sizes make exact stats affordable; the HDR histogram is
+ * for streaming contexts). */
+LatencySummary summarizeNs(const std::vector<int64_t>& samples);
+
+/**
+ * Shared post-processing: sorts timings by generation time, computes
+ * the achieved QPS over the measured span and the three latency
+ * summaries, and moves the timings into RunResult::samples when
+ * requested.
+ */
+RunResult buildRunResult(std::vector<RequestTiming>&& timings,
+                         bool keepSamples);
+
+}  // namespace tb::core
+
+#endif  // TAILBENCH_CORE_HARNESS_H_

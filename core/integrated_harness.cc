@@ -1,0 +1,85 @@
+#include "core/integrated_harness.h"
+
+#include <thread>
+
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tb::core {
+
+RunResult
+IntegratedHarness::run(apps::App& app, const HarnessConfig& cfg)
+{
+    const uint64_t total = cfg.warmupRequests + cfg.measuredRequests;
+    if (total == 0 || cfg.qps <= 0.0)
+        return RunResult{};
+    const unsigned workers = cfg.workerThreads == 0
+        ? 1
+        : cfg.workerThreads;
+
+    RequestQueue queue;
+    std::vector<std::vector<RequestTiming>> per_worker(workers);
+
+    std::vector<std::thread> worker_threads;
+    worker_threads.reserve(workers);
+    for (unsigned w = 0; w < workers; w++) {
+        worker_threads.emplace_back([&, w] {
+            std::vector<RequestTiming>& local = per_worker[w];
+            Request req;
+            while (queue.pop(req)) {
+                const int64_t start = util::monotonicNs();
+                app.process(req.payload);
+                const int64_t end = util::monotonicNs();
+                if (req.id >= cfg.warmupRequests) {
+                    RequestTiming t;
+                    t.genNs = req.genNs;
+                    t.startNs = start;
+                    t.endNs = end;
+                    local.push_back(t);
+                }
+            }
+        });
+    }
+
+    // Open-loop generator (this thread): exponential interarrival gaps
+    // laid out as an absolute schedule from the start time. genNs is
+    // the *scheduled* arrival; sleepUntilNs returns immediately if the
+    // generator has fallen behind, so the schedule never stretches to
+    // accommodate a slow server.
+    {
+        util::Rng rng(cfg.seed);
+        const double gap_mean_ns = 1e9 / cfg.qps;
+        double next = static_cast<double>(util::monotonicNs()) + 1000.0;
+        for (uint64_t i = 0; i < total; i++) {
+            next += rng.nextExponential(gap_mean_ns);
+            const int64_t scheduled = static_cast<int64_t>(next);
+            Request req;
+            req.id = i;
+            req.payload = app.genRequest(rng);
+            req.genNs = scheduled;
+            util::sleepUntilNs(scheduled);
+            queue.push(std::move(req));
+        }
+    }
+    queue.close();
+    for (std::thread& t : worker_threads)
+        t.join();
+
+    std::vector<RequestTiming> all;
+    all.reserve(cfg.measuredRequests);
+    for (std::vector<RequestTiming>& v : per_worker)
+        all.insert(all.end(), v.begin(), v.end());
+    RunResult result = buildRunResult(std::move(all), cfg.keepSamples);
+    TB_LOG_DEBUG("integrated run: app=%s offered=%.0f qps achieved=%.0f "
+                 "qps threads=%u measured=%llu p95=%.3f ms",
+                 app.name().c_str(), cfg.qps, result.achievedQps,
+                 workers,
+                 static_cast<unsigned long long>(
+                     result.latency.sojourn.count),
+                 static_cast<double>(result.latency.sojourn.p95Ns) /
+                     1e6);
+    return result;
+}
+
+}  // namespace tb::core

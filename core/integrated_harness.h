@@ -1,0 +1,36 @@
+#ifndef TAILBENCH_CORE_INTEGRATED_HARNESS_H_
+#define TAILBENCH_CORE_INTEGRATED_HARNESS_H_
+
+/**
+ * @file
+ * The integrated configuration: load generator and application in one
+ * process, requests handed over through an in-memory queue. Lowest
+ * overhead of the real-time configurations — the paper uses it for
+ * profiling and as the reference the networked/loopback setups are
+ * validated against.
+ *
+ * One generator thread produces the open-loop Poisson arrival
+ * schedule, stamping each request with its *scheduled* arrival time
+ * (coordinated-omission-free by construction: the stamp is taken
+ * before the queue, and a tardy generator or a backed-up queue shows
+ * up as sojourn time, never as missing load). N worker threads pop,
+ * stamp service start, run App::process(), stamp completion.
+ */
+
+#include "core/harness.h"
+#include "core/request_queue.h"
+
+namespace tb::core {
+
+class IntegratedHarness final : public Harness {
+  public:
+    IntegratedHarness() = default;
+
+    RunResult run(apps::App& app, const HarnessConfig& cfg) override;
+
+    std::string configName() const override { return "integrated"; }
+};
+
+}  // namespace tb::core
+
+#endif  // TAILBENCH_CORE_INTEGRATED_HARNESS_H_

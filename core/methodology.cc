@@ -1,0 +1,28 @@
+#include "core/methodology.h"
+
+#include <algorithm>
+
+namespace tb::core {
+
+double
+estimateSaturationQps(Harness& harness, apps::App& app, unsigned threads,
+                      uint64_t seed, uint64_t probeRequests)
+{
+    HarnessConfig cfg;
+    // Offered load far beyond any plausible capacity: the queue is
+    // never empty, so workers run back to back and the probe measures
+    // pure service times.
+    cfg.qps = 1e9;
+    cfg.workerThreads = threads;
+    cfg.warmupRequests = std::max<uint64_t>(8, probeRequests / 8);
+    cfg.measuredRequests = std::max<uint64_t>(16, probeRequests);
+    cfg.seed = seed;
+    const RunResult r = harness.run(app, cfg);
+    const double mean_service_ns = r.latency.service.meanNs;
+    if (mean_service_ns <= 0.0)
+        return 1.0;
+    return static_cast<double>(std::max(1u, threads)) * 1e9 /
+        mean_service_ns;
+}
+
+}  // namespace tb::core

@@ -1,0 +1,34 @@
+#ifndef TAILBENCH_CORE_METHODOLOGY_H_
+#define TAILBENCH_CORE_METHODOLOGY_H_
+
+/**
+ * @file
+ * Measurement-methodology helpers shared by the bench drivers
+ * (paper Sec. IV): saturation estimation, from which every sweep
+ * derives its load points.
+ */
+
+#include <cstdint>
+
+#include "core/harness.h"
+
+namespace tb::core {
+
+/**
+ * Analytic saturation estimate: threads / E[service time], with E[S]
+ * measured by a short saturating probe of @p probeRequests through
+ * @p harness (service time excludes queueing, so overload does not
+ * bias it for queue-based harnesses).
+ *
+ * This is an *estimate*: it ignores service-time variance, so for
+ * heavy-tailed apps the usable capacity is lower. Callers refine it
+ * against achieved throughput under deliberate overload
+ * (bench::calibrateSaturation).
+ */
+double estimateSaturationQps(Harness& harness, apps::App& app,
+                             unsigned threads, uint64_t seed,
+                             uint64_t probeRequests);
+
+}  // namespace tb::core
+
+#endif  // TAILBENCH_CORE_METHODOLOGY_H_

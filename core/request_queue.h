@@ -1,0 +1,91 @@
+#ifndef TAILBENCH_CORE_REQUEST_QUEUE_H_
+#define TAILBENCH_CORE_REQUEST_QUEUE_H_
+
+/**
+ * @file
+ * The unbounded MPMC request queue between the load generator and the
+ * worker threads.
+ *
+ * Unbounded on purpose: a bounded queue would push back on the
+ * generator and reintroduce the closed-loop coordination the open-loop
+ * methodology exists to avoid. Memory is bounded in practice by run
+ * length (measuredRequests).
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace tb::core {
+
+/** One in-flight request. genNs is the scheduled generation time —
+ * assigned by the open-loop generator before the push, never after. */
+struct Request {
+    uint64_t id = 0;
+    std::string payload;
+    int64_t genNs = 0;
+};
+
+class RequestQueue {
+  public:
+    RequestQueue() = default;
+    RequestQueue(const RequestQueue&) = delete;
+    RequestQueue& operator=(const RequestQueue&) = delete;
+
+    /** Never blocks (unbounded). */
+    void
+    push(Request&& req)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queue_.push_back(std::move(req));
+        }
+        cv_.notify_one();
+    }
+
+    /**
+     * Blocks until a request is available or the queue is closed.
+     * Returns false only when closed AND drained — workers exit then.
+     */
+    bool
+    pop(Request& out)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+        if (queue_.empty())
+            return false;
+        out = std::move(queue_.front());
+        queue_.pop_front();
+        return true;
+    }
+
+    /** After close(), pop() drains the backlog then returns false. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return queue_.size();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    bool closed_ = false;
+};
+
+}  // namespace tb::core
+
+#endif  // TAILBENCH_CORE_REQUEST_QUEUE_H_

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI smoke: run one bench driver in fast mode and check the output
+# shape — every driver prints at least one "### <title>" header.
+#
+# Usage: smoke.sh <path-to-driver> [args...]
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: $0 <driver-binary> [args...]" >&2
+    exit 2
+fi
+
+driver="$1"
+shift
+
+if ! out=$(TAILBENCH_FAST=1 TAILBENCH_SIZE=0.05 "$driver" "$@"); then
+    echo "smoke: $driver exited nonzero" >&2
+    exit 1
+fi
+
+if ! grep -q '^### ' <<<"$out"; then
+    echo "smoke: $driver produced no '### ' header; output was:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+
+echo "smoke OK: $(grep -c '^### ' <<<"$out") section(s) from $(basename "$driver")"

@@ -1,0 +1,73 @@
+#ifndef TAILBENCH_SIM_MACHINE_H_
+#define TAILBENCH_SIM_MACHINE_H_
+
+/**
+ * @file
+ * Simulated machine description, mirroring the paper's Table II
+ * (8-core Xeon E5-2670 class, 20 MB LLC, DDR3-1333).
+ *
+ * This header carries only the configuration contract today; the
+ * virtual-time SimHarness that consumes it (timing model, cache
+ * hierarchy, sleep states, corunner interference) is a ROADMAP item.
+ * Keeping the struct here lets table2_sysconfig and the sim-dependent
+ * drivers compile against a stable interface.
+ */
+
+#include <cstdint>
+
+namespace tb::sim {
+
+struct MachineConfig {
+    /** Core clock; 2.4 GHz nominal (DVFS sweeps override). */
+    double freqGhz = 2.4;
+
+    // Cache hierarchy (hit latencies in core cycles; L1 hits are
+    // folded into the base CPI).
+    double l2HitCycles = 12.0;
+    double l3HitCycles = 30.0;
+    double llcMb = 20.0;
+
+    // DRAM: DDR3-1333, two channels.
+    double dramLatencyNs = 70.0;
+    double dramPeakGBs = 21.3;
+
+    double branchPenaltyCycles = 17.0;
+
+    /** Zero-latency, infinite-bandwidth memory (Fig. 8 case study). */
+    bool idealMemory = false;
+
+    /** Batch corunners contending for LLC and DRAM bandwidth. */
+    unsigned batchCorunners = 0;
+
+    /** Deep-sleep model: enter after idling sleepEntryNs; pay
+     * sleepWakeNs on the next request. 0 disables. */
+    double sleepEntryNs = 0.0;
+    double sleepWakeNs = 0.0;
+};
+
+/** Counters the timing simulator accumulates per run. Defined with
+ * the config so drivers share one vocabulary; populated by the future
+ * SimHarness. */
+struct MachineStats {
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t l1iMisses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t l3Misses = 0;
+    uint64_t branchMisses = 0;
+    uint64_t sleepWakeups = 0;
+
+    double
+    mpki(uint64_t misses) const
+    {
+        return instructions == 0
+            ? 0.0
+            : static_cast<double>(misses) * 1000.0 /
+                static_cast<double>(instructions);
+    }
+};
+
+}  // namespace tb::sim
+
+#endif  // TAILBENCH_SIM_MACHINE_H_

@@ -1,0 +1,101 @@
+/** Unit tests: apps/common/bptree.h against a std::map reference. */
+
+#include "apps/common/bptree.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+#include "tests/test_util.h"
+
+using tb::apps::BPlusTree;
+using tb::util::Rng;
+
+int
+main()
+{
+    // Empty tree.
+    BPlusTree<uint64_t> empty;
+    CHECK_EQ(empty.size(), static_cast<size_t>(0));
+    CHECK(empty.find(42) == nullptr);
+    CHECK_EQ(empty.scanFrom(0, 10, [](uint64_t, uint64_t) {}),
+             static_cast<size_t>(0));
+
+    // Randomized inserts + upserts, cross-checked against std::map.
+    BPlusTree<uint64_t> tree;
+    std::map<uint64_t, uint64_t> ref;
+    Rng rng(42);
+    for (int i = 0; i < 50000; i++) {
+        // Narrow key range forces plenty of upserts and deep splits.
+        const uint64_t key = rng.nextInt(20000) * 7919;
+        const uint64_t val = rng.next();
+        tree.insert(key, val);
+        ref[key] = val;
+    }
+    CHECK_EQ(tree.size(), ref.size());
+    for (const auto& [key, val] : ref) {
+        const uint64_t* found = tree.find(key);
+        CHECK(found != nullptr);
+        if (found != nullptr)
+            CHECK_EQ(*found, val);
+    }
+    // Absent keys (7919 is prime, so key+1 is never a multiple).
+    for (int i = 0; i < 1000; i++)
+        CHECK(tree.find(rng.nextInt(20000) * 7919 + 1) == nullptr);
+
+    // Full scan returns every key in ascending order.
+    std::vector<std::pair<uint64_t, uint64_t>> scanned;
+    const size_t n = tree.scanFrom(
+        0, ref.size() + 10, [&scanned](uint64_t k, uint64_t v) {
+            scanned.emplace_back(k, v);
+        });
+    CHECK_EQ(n, ref.size());
+    CHECK_EQ(scanned.size(), ref.size());
+    auto it = ref.begin();
+    bool order_ok = true;
+    for (size_t i = 0; i < scanned.size() && it != ref.end();
+         i++, ++it) {
+        if (scanned[i].first != it->first ||
+            scanned[i].second != it->second)
+            order_ok = false;
+    }
+    CHECK(order_ok);
+
+    // Bounded scan from the middle: starts at lower_bound(key),
+    // respects the limit.
+    const uint64_t mid_key = std::next(ref.begin(),
+                                       static_cast<long>(ref.size() / 2))
+                                 ->first;
+    std::vector<uint64_t> window;
+    CHECK_EQ(tree.scanFrom(mid_key, 16,
+                           [&window](uint64_t k, uint64_t) {
+                               window.push_back(k);
+                           }),
+             static_cast<size_t>(16));
+    CHECK_EQ(window.front(), mid_key);
+    for (size_t i = 1; i < window.size(); i++)
+        CHECK(window[i] > window[i - 1]);
+
+    // Sequential ascending and descending insertion (worst cases for
+    // naive split logic).
+    BPlusTree<int> asc;
+    for (int i = 0; i < 5000; i++)
+        asc.insert(static_cast<uint64_t>(i), i);
+    CHECK_EQ(asc.size(), static_cast<size_t>(5000));
+    for (int i = 0; i < 5000; i += 37) {
+        const int* v = asc.find(static_cast<uint64_t>(i));
+        CHECK(v != nullptr && *v == i);
+    }
+    BPlusTree<int> desc;
+    for (int i = 4999; i >= 0; i--)
+        desc.insert(static_cast<uint64_t>(i), i);
+    CHECK_EQ(desc.size(), static_cast<size_t>(5000));
+    for (int i = 0; i < 5000; i += 41) {
+        const int* v = desc.find(static_cast<uint64_t>(i));
+        CHECK(v != nullptr && *v == i);
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,143 @@
+/** Unit tests: core/integrated_harness.cc open-loop behavior and
+ * core/methodology.cc saturation estimation. */
+
+#include "core/integrated_harness.h"
+
+#include <string>
+
+#include "core/methodology.h"
+
+#include "tests/test_util.h"
+
+using tb::apps::AppConfig;
+using tb::apps::makeApp;
+using tb::core::HarnessConfig;
+using tb::core::IntegratedHarness;
+using tb::core::RequestTiming;
+using tb::core::RunResult;
+
+namespace {
+
+std::unique_ptr<tb::apps::App>
+makeTestApp(const std::string& name)
+{
+    auto app = makeApp(name);
+    AppConfig cfg;
+    cfg.seed = 42;
+    cfg.sizeFactor = 0.05;  // img-dnn mean service ~25 us
+    app->init(cfg);
+    return app;
+}
+
+}  // namespace
+
+int
+main()
+{
+    auto app = makeTestApp("img-dnn");
+    IntegratedHarness harness;
+    CHECK(harness.configName() == std::string("integrated"));
+
+    // Degenerate configs return an empty result instead of hanging.
+    {
+        HarnessConfig cfg;
+        cfg.measuredRequests = 0;
+        cfg.warmupRequests = 0;
+        const RunResult r = harness.run(*app, cfg);
+        CHECK_EQ(r.latency.sojourn.count, static_cast<uint64_t>(0));
+        CHECK_EQ(r.achievedQps, 0.0);
+    }
+
+    // Saturation estimate: positive and within a plausible band of
+    // the model's 1/E[S] (~40k qps for a 25 us mean on an idle core;
+    // generous bounds absorb shared-host noise).
+    const double sat = tb::core::estimateSaturationQps(
+        harness, *app, 1, 42, 200);
+    CHECK(sat > 1000.0);
+    CHECK(sat < 1e7);
+
+    // Low-load run: achieved QPS tracks offered QPS (the open-loop
+    // generator neither throttles nor bursts), and every request
+    // satisfies the timestamp invariants.
+    {
+        const double offered = 0.10 * sat;
+        HarnessConfig cfg;
+        cfg.qps = offered;
+        cfg.workerThreads = 1;
+        cfg.warmupRequests = 50;
+        cfg.measuredRequests = 500;
+        cfg.seed = 42;
+        cfg.keepSamples = true;
+        const RunResult r = harness.run(*app, cfg);
+
+        CHECK_EQ(r.latency.sojourn.count, static_cast<uint64_t>(500));
+        CHECK_EQ(r.samples.size(), static_cast<size_t>(500));
+        CHECK_NEAR(r.achievedQps, offered, 0.20);
+
+        for (const RequestTiming& t : r.samples) {
+            // Workers cannot start before the scheduled arrival...
+            CHECK(t.startNs >= t.genNs);
+            // ...so sojourn >= service and sojourn >= queueing, and
+            // all components are non-negative.
+            CHECK(t.serviceNs() > 0);
+            CHECK(t.queueNs() >= 0);
+            CHECK(t.sojournNs() >= t.serviceNs());
+            CHECK(t.sojournNs() >= t.queueNs());
+        }
+
+        // Summaries are internally consistent.
+        CHECK(r.latency.sojourn.p95Ns >= r.latency.sojourn.p50Ns);
+        CHECK(r.latency.sojourn.p99Ns >= r.latency.sojourn.p95Ns);
+        CHECK(static_cast<double>(r.latency.sojourn.p95Ns) >=
+              r.latency.service.meanNs * 0.5);
+        CHECK(r.latency.sojourn.meanNs >= r.latency.service.meanNs);
+    }
+
+    // Overload run: achieved QPS is capped by capacity, well below
+    // the absurd offered rate, and the queue drains fully (every
+    // measured request completes).
+    {
+        HarnessConfig cfg;
+        cfg.qps = 50.0 * sat;
+        cfg.workerThreads = 1;
+        cfg.warmupRequests = 20;
+        cfg.measuredRequests = 200;
+        cfg.seed = 43;
+        const RunResult r = harness.run(*app, cfg);
+        CHECK_EQ(r.latency.sojourn.count, static_cast<uint64_t>(200));
+        CHECK(r.achievedQps < 5.0 * sat);
+        // Under overload, sojourn is dominated by queueing.
+        CHECK(r.latency.sojourn.meanNs >
+              4.0 * r.latency.service.meanNs);
+    }
+
+    // Warmup separation: only measured requests are reported.
+    {
+        HarnessConfig cfg;
+        cfg.qps = 0.2 * sat;
+        cfg.warmupRequests = 100;
+        cfg.measuredRequests = 150;
+        cfg.seed = 44;
+        cfg.keepSamples = true;
+        const RunResult r = harness.run(*app, cfg);
+        CHECK_EQ(r.latency.sojourn.count, static_cast<uint64_t>(150));
+        CHECK_EQ(r.samples.size(), static_cast<size_t>(150));
+    }
+
+    // Multi-worker run completes and keeps the invariants.
+    {
+        HarnessConfig cfg;
+        cfg.qps = 0.3 * sat;
+        cfg.workerThreads = 2;
+        cfg.warmupRequests = 30;
+        cfg.measuredRequests = 300;
+        cfg.seed = 45;
+        cfg.keepSamples = true;
+        const RunResult r = harness.run(*app, cfg);
+        CHECK_EQ(r.latency.sojourn.count, static_cast<uint64_t>(300));
+        for (const RequestTiming& t : r.samples)
+            CHECK(t.sojournNs() >= t.serviceNs());
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,94 @@
+/** Unit tests: util/histogram.h percentile accuracy vs exact sort. */
+
+#include "util/histogram.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+#include "tests/test_util.h"
+
+using tb::util::HdrHistogram;
+using tb::util::percentileOf;
+using tb::util::Rng;
+
+int
+main()
+{
+    // Empty histogram.
+    HdrHistogram empty;
+    CHECK_EQ(empty.count(), static_cast<uint64_t>(0));
+    CHECK_EQ(empty.percentile(95.0), static_cast<int64_t>(0));
+    CHECK_EQ(empty.minValue(), static_cast<uint64_t>(0));
+
+    // Single value: every percentile reports (close to) it, clamped
+    // to the exact observed min/max.
+    HdrHistogram one;
+    one.record(123456);
+    CHECK_EQ(one.count(), static_cast<uint64_t>(1));
+    CHECK_EQ(one.percentile(0.0), static_cast<int64_t>(123456));
+    CHECK_EQ(one.percentile(100.0), static_cast<int64_t>(123456));
+
+    // Percentile accuracy vs exact sort on a lognormal latency-like
+    // distribution spanning ~4 decades. The representation bound is
+    // 10^(1/200)-1 ~ 1.16%; allow 2.5% to absorb the difference
+    // between bucket-midpoint and interpolated-rank definitions.
+    Rng rng(42);
+    HdrHistogram h;
+    std::vector<int64_t> exact;
+    for (int i = 0; i < 50000; i++) {
+        const double v = 50000.0 * std::exp(0.9 * rng.nextGaussian());
+        const uint64_t ns = static_cast<uint64_t>(v) + 1;
+        h.record(ns);
+        exact.push_back(static_cast<int64_t>(ns));
+    }
+    CHECK_EQ(h.count(), static_cast<uint64_t>(50000));
+    for (double pct : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+        const double ex =
+            static_cast<double>(percentileOf(exact, pct));
+        const double hd = static_cast<double>(h.percentile(pct));
+        CHECK_NEAR(hd, ex, 0.025);
+    }
+
+    // Mean is exact (tracked as a running sum, not from buckets).
+    CHECK_NEAR(h.mean(), tb::util::meanOf(exact), 1e-9);
+
+    // min/max are exact; percentiles never step outside them.
+    CHECK_EQ(static_cast<int64_t>(h.minValue()),
+             percentileOf(exact, 0.0));
+    CHECK_EQ(static_cast<int64_t>(h.maxValue()),
+             percentileOf(exact, 100.0));
+    CHECK(h.percentile(99.999) <=
+          static_cast<int64_t>(h.maxValue()));
+
+    // merge(): two shards equal one combined histogram.
+    HdrHistogram s1;
+    HdrHistogram s2;
+    HdrHistogram whole;
+    Rng rng2(7);
+    for (int i = 0; i < 20000; i++) {
+        const uint64_t v = 1000 + rng2.nextInt(1000000);
+        (i % 2 == 0 ? s1 : s2).record(v);
+        whole.record(v);
+    }
+    s1.merge(s2);
+    CHECK_EQ(s1.count(), whole.count());
+    CHECK_EQ(s1.percentile(95.0), whole.percentile(95.0));
+    CHECK_EQ(s1.minValue(), whole.minValue());
+    CHECK_EQ(s1.maxValue(), whole.maxValue());
+    CHECK_NEAR(s1.mean(), whole.mean(), 1e-9);
+
+    // clear() resets.
+    s1.clear();
+    CHECK_EQ(s1.count(), static_cast<uint64_t>(0));
+    CHECK_EQ(s1.percentile(50.0), static_cast<int64_t>(0));
+
+    // Zero clamps to 1 instead of crashing.
+    s1.record(0);
+    CHECK_EQ(s1.minValue(), static_cast<uint64_t>(1));
+
+    return TEST_MAIN_RESULT();
+}

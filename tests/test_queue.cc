@@ -1,0 +1,109 @@
+/** Unit tests: core/request_queue.h FIFO order, close semantics,
+ * multi-producer/multi-consumer delivery. */
+
+#include "core/request_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "tests/test_util.h"
+
+using tb::core::Request;
+using tb::core::RequestQueue;
+
+int
+main()
+{
+    // FIFO order, single-threaded.
+    {
+        RequestQueue q;
+        for (uint64_t i = 0; i < 100; i++) {
+            Request r;
+            r.id = i;
+            r.payload = "p" + std::to_string(i);
+            r.genNs = static_cast<int64_t>(i * 10);
+            q.push(std::move(r));
+        }
+        CHECK_EQ(q.size(), static_cast<size_t>(100));
+        Request out;
+        for (uint64_t i = 0; i < 100; i++) {
+            CHECK(q.pop(out));
+            CHECK_EQ(out.id, i);
+            CHECK(out.payload == "p" + std::to_string(i));
+        }
+        CHECK_EQ(q.size(), static_cast<size_t>(0));
+    }
+
+    // close() lets consumers drain the backlog, then pop() returns
+    // false.
+    {
+        RequestQueue q;
+        Request r;
+        r.id = 7;
+        q.push(std::move(r));
+        q.close();
+        Request out;
+        CHECK(q.pop(out));
+        CHECK_EQ(out.id, static_cast<uint64_t>(7));
+        CHECK(!q.pop(out));
+        CHECK(!q.pop(out));  // stays closed
+    }
+
+    // close() wakes a blocked consumer.
+    {
+        RequestQueue q;
+        std::atomic<bool> returned{false};
+        std::thread consumer([&] {
+            Request out;
+            const bool got = q.pop(out);
+            CHECK(!got);
+            returned = true;
+        });
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        q.close();
+        consumer.join();
+        CHECK(returned);
+    }
+
+    // 2 producers x 2 consumers: every id delivered exactly once.
+    {
+        RequestQueue q;
+        constexpr uint64_t kPerProducer = 5000;
+        std::vector<std::thread> producers;
+        for (int p = 0; p < 2; p++) {
+            producers.emplace_back([&q, p] {
+                for (uint64_t i = 0; i < kPerProducer; i++) {
+                    Request r;
+                    r.id = static_cast<uint64_t>(p) * kPerProducer + i;
+                    q.push(std::move(r));
+                }
+            });
+        }
+        std::mutex seen_mu;
+        std::set<uint64_t> seen;
+        std::vector<std::thread> consumers;
+        for (int c = 0; c < 2; c++) {
+            consumers.emplace_back([&] {
+                Request out;
+                while (q.pop(out)) {
+                    std::lock_guard<std::mutex> lock(seen_mu);
+                    const bool inserted =
+                        seen.insert(out.id).second;
+                    CHECK(inserted);  // no duplicate delivery
+                }
+            });
+        }
+        for (auto& t : producers)
+            t.join();
+        q.close();
+        for (auto& t : consumers)
+            t.join();
+        CHECK_EQ(seen.size(), static_cast<size_t>(2 * kPerProducer));
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,68 @@
+/** Unit tests: util/rng.h determinism and distribution sanity. */
+
+#include "util/rng.h"
+
+#include <vector>
+
+#include "tests/test_util.h"
+
+using tb::util::Rng;
+
+int
+main()
+{
+    // Same seed => same stream; different seed => different stream.
+    Rng a(123);
+    Rng b(123);
+    Rng c(124);
+    bool all_equal = true;
+    bool any_diff_seed_diff = false;
+    for (int i = 0; i < 1000; i++) {
+        const uint64_t va = a.next();
+        if (va != b.next())
+            all_equal = false;
+        if (va != c.next())
+            any_diff_seed_diff = true;
+    }
+    CHECK(all_equal);
+    CHECK(any_diff_seed_diff);
+
+    // nextInt stays in range; n == 0 is safe.
+    Rng r(7);
+    for (int i = 0; i < 10000; i++)
+        CHECK(r.nextInt(17) < 17);
+    CHECK_EQ(r.nextInt(0), static_cast<uint64_t>(0));
+
+    // nextDouble in [0, 1); sample mean near 0.5.
+    double sum = 0.0;
+    for (int i = 0; i < 20000; i++) {
+        const double d = r.nextDouble();
+        CHECK(d >= 0.0);
+        CHECK(d < 1.0);
+        sum += d;
+    }
+    CHECK_NEAR(sum / 20000.0, 0.5, 0.02);
+
+    // Exponential: positive, sample mean near the requested mean.
+    double esum = 0.0;
+    for (int i = 0; i < 50000; i++) {
+        const double e = r.nextExponential(250.0);
+        CHECK(e >= 0.0);
+        esum += e;
+    }
+    CHECK_NEAR(esum / 50000.0, 250.0, 0.03);
+
+    // Gaussian: mean ~0, variance ~1.
+    double gsum = 0.0;
+    double gsq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++) {
+        const double g = r.nextGaussian();
+        gsum += g;
+        gsq += g * g;
+    }
+    CHECK_NEAR(gsum / n, 0.0, 0.02);
+    CHECK_NEAR(gsq / n, 1.0, 0.03);
+
+    return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,61 @@
+/** Unit tests: util/stats.h percentileOf edge cases and helpers. */
+
+#include "util/stats.h"
+
+#include <vector>
+
+#include "tests/test_util.h"
+
+using tb::util::meanOf;
+using tb::util::percentileOf;
+using tb::util::stddevOf;
+
+int
+main()
+{
+    // Empty: value-initialized result.
+    CHECK_EQ(percentileOf(std::vector<double>{}, 50.0), 0.0);
+    CHECK_EQ(percentileOf(std::vector<int64_t>{}, 99.0),
+             static_cast<int64_t>(0));
+
+    // Single element: every percentile is that element.
+    const std::vector<double> one = {7.5};
+    CHECK_EQ(percentileOf(one, 0.0), 7.5);
+    CHECK_EQ(percentileOf(one, 50.0), 7.5);
+    CHECK_EQ(percentileOf(one, 100.0), 7.5);
+
+    // Interpolation (type-7): p50 of {1,2,3,4} = 2.5; p25 = 1.75.
+    const std::vector<double> four = {4.0, 1.0, 3.0, 2.0};  // unsorted
+    CHECK_NEAR(percentileOf(four, 50.0), 2.5, 1e-12);
+    CHECK_NEAR(percentileOf(four, 25.0), 1.75, 1e-12);
+    CHECK_EQ(percentileOf(four, 0.0), 1.0);
+    CHECK_EQ(percentileOf(four, 100.0), 4.0);
+
+    // Out-of-range pct clamps.
+    CHECK_EQ(percentileOf(four, -5.0), 1.0);
+    CHECK_EQ(percentileOf(four, 250.0), 4.0);
+
+    // Integral T rounds the interpolated value to nearest.
+    const std::vector<int64_t> ints = {10, 20};
+    CHECK_EQ(percentileOf(ints, 50.0), static_cast<int64_t>(15));
+    CHECK_EQ(percentileOf(ints, 51.0), static_cast<int64_t>(15));
+    CHECK_EQ(percentileOf(ints, 99.0), static_cast<int64_t>(20));
+
+    // Input is not modified (taken by const ref, sorted on a copy).
+    CHECK_EQ(four[0], 4.0);
+
+    // Exact percentile on a known ladder: 0..100.
+    std::vector<int64_t> ladder;
+    for (int64_t i = 0; i <= 100; i++)
+        ladder.push_back(i);
+    CHECK_EQ(percentileOf(ladder, 95.0), static_cast<int64_t>(95));
+    CHECK_EQ(percentileOf(ladder, 50.0), static_cast<int64_t>(50));
+
+    // meanOf / stddevOf.
+    CHECK_EQ(meanOf(std::vector<double>{}), 0.0);
+    CHECK_NEAR(meanOf(four), 2.5, 1e-12);
+    CHECK_EQ(stddevOf(one), 0.0);
+    CHECK_NEAR(stddevOf(four), 1.2909944487358056, 1e-9);
+
+    return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,65 @@
+#ifndef TAILBENCH_TESTS_TEST_UTIL_H_
+#define TAILBENCH_TESTS_TEST_UTIL_H_
+
+/**
+ * @file
+ * Dependency-free check macros for the unit tests (the container has
+ * no gtest; ctest only needs an exit code). Failures print file:line
+ * and the expression, and the test binary exits nonzero.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tb::test {
+inline int g_failures = 0;
+}
+
+#define CHECK(cond)                                                    \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__,         \
+                         __LINE__, #cond);                             \
+            tb::test::g_failures++;                                    \
+        }                                                              \
+    } while (0)
+
+#define CHECK_EQ(a, b)                                                 \
+    do {                                                               \
+        if (!((a) == (b))) {                                           \
+            std::fprintf(stderr,                                       \
+                         "FAIL %s:%d: %s == %s (lhs=%.17g rhs=%.17g)"  \
+                         "\n",                                         \
+                         __FILE__, __LINE__, #a, #b,                   \
+                         static_cast<double>(a),                       \
+                         static_cast<double>(b));                      \
+            tb::test::g_failures++;                                    \
+        }                                                              \
+    } while (0)
+
+/** |a - b| <= tol * max(|a|, |b|, 1). */
+#define CHECK_NEAR(a, b, tol)                                          \
+    do {                                                               \
+        const double a_ = static_cast<double>(a);                      \
+        const double b_ = static_cast<double>(b);                      \
+        const double scale_ = std::max(                                \
+            1.0, std::max(std::fabs(a_), std::fabs(b_)));              \
+        if (std::fabs(a_ - b_) > (tol)*scale_) {                       \
+            std::fprintf(stderr,                                       \
+                         "FAIL %s:%d: |%s - %s| <= %g (lhs=%.17g "     \
+                         "rhs=%.17g)\n",                               \
+                         __FILE__, __LINE__, #a, #b,                   \
+                         static_cast<double>(tol), a_, b_);            \
+            tb::test::g_failures++;                                    \
+        }                                                              \
+    } while (0)
+
+#define TEST_MAIN_RESULT()                                             \
+    (tb::test::g_failures == 0                                         \
+         ? (std::printf("OK\n"), 0)                                    \
+         : (std::fprintf(stderr, "%d check(s) failed\n",               \
+                         tb::test::g_failures),                        \
+            1))
+
+#endif  // TAILBENCH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,84 @@
+/** Unit tests: util/zipf.h skew sanity and edge cases. */
+
+#include "util/zipf.h"
+
+#include <vector>
+
+#include "tests/test_util.h"
+
+using tb::util::Rng;
+using tb::util::ZipfianGenerator;
+
+int
+main()
+{
+    // n = 1: always rank 0.
+    {
+        ZipfianGenerator z(1, 0.99);
+        Rng rng(1);
+        for (int i = 0; i < 100; i++)
+            CHECK_EQ(z.next(rng), static_cast<uint64_t>(0));
+    }
+
+    // Skew sanity at theta = 0.99 over 1000 ranks: ranks stay in
+    // range, rank 0 is by far the most popular (analytically ~1/zeta
+    // ~ 13% of draws), and the head dominates the uniform share.
+    {
+        const uint64_t n = 1000;
+        ZipfianGenerator z(n, 0.99);
+        Rng rng(42);
+        const int draws = 200000;
+        std::vector<int> freq(n, 0);
+        for (int i = 0; i < draws; i++) {
+            const uint64_t rank = z.next(rng);
+            CHECK(rank < n);
+            freq[rank]++;
+        }
+        const double f0 = static_cast<double>(freq[0]) / draws;
+        CHECK(f0 > 0.08);
+        CHECK(f0 < 0.20);
+        // Popularity decays with rank (coarse monotonicity).
+        CHECK(freq[0] > freq[9]);
+        CHECK(freq[9] > freq[99]);
+        CHECK(freq[99] > freq[999]);
+        // Top 10 ranks take far more than their uniform 1% share.
+        int head = 0;
+        for (int i = 0; i < 10; i++)
+            head += freq[i];
+        CHECK(static_cast<double>(head) / draws > 0.25);
+    }
+
+    // Large keyspace (uses the zeta tail approximation): in range,
+    // still head-heavy.
+    {
+        const uint64_t n = 5000000;
+        ZipfianGenerator z(n, 0.99);
+        Rng rng(7);
+        int head = 0;
+        const int draws = 50000;
+        for (int i = 0; i < draws; i++) {
+            const uint64_t rank = z.next(rng);
+            CHECK(rank < n);
+            if (rank < 100)
+                head++;
+        }
+        CHECK(static_cast<double>(head) / draws > 0.15);
+    }
+
+    // theta = 0 is uniform-ish: rank 0 near its fair share.
+    {
+        const uint64_t n = 100;
+        ZipfianGenerator z(n, 0.0);
+        Rng rng(9);
+        int zero = 0;
+        const int draws = 100000;
+        for (int i = 0; i < draws; i++)
+            if (z.next(rng) == 0)
+                zero++;
+        // Fair share is 1%; allow 0.5%..2%.
+        CHECK(zero > 500);
+        CHECK(zero < 2000);
+    }
+
+    return TEST_MAIN_RESULT();
+}

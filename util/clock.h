@@ -1,0 +1,57 @@
+#ifndef TAILBENCH_UTIL_CLOCK_H_
+#define TAILBENCH_UTIL_CLOCK_H_
+
+/**
+ * @file
+ * Monotonic nanosecond clock and precise sleep.
+ *
+ * Everything in the harness timestamps with monotonicNs(): request
+ * generation (arrival) time, service start, and completion. A single
+ * clock source keeps sojourn = end - gen and service = end - start
+ * directly comparable.
+ */
+
+#include <cstdint>
+#include <ctime>
+
+namespace tb::util {
+
+/** Nanoseconds from CLOCK_MONOTONIC; ~20 ns per call on Linux. */
+inline int64_t
+monotonicNs()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<int64_t>(ts.tv_sec) * 1000000000ll + ts.tv_nsec;
+}
+
+/**
+ * Sleeps until the monotonic deadline @p targetNs.
+ *
+ * Hybrid strategy: coarse clock_nanosleep until @p spinNs before the
+ * deadline, then spin on the clock. The open-loop generator needs
+ * better-than-scheduler arrival precision for short-request apps
+ * (silo's interarrival gaps are tens of microseconds), but a pure
+ * spin would monopolize a core on small hosts — the spin window is
+ * kept short. Returns immediately if the deadline has passed (the
+ * caller's timestamps still use the *scheduled* time, so a tardy
+ * generator shows up as queueing, never as omitted load).
+ */
+inline void
+sleepUntilNs(int64_t targetNs, int64_t spinNs = 20000)
+{
+    const int64_t coarse_target = targetNs - spinNs;
+    if (monotonicNs() < coarse_target) {
+        timespec ts;
+        ts.tv_sec = coarse_target / 1000000000ll;
+        ts.tv_nsec = coarse_target % 1000000000ll;
+        clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &ts, nullptr);
+    }
+    while (monotonicNs() < targetNs) {
+        // spin
+    }
+}
+
+}  // namespace tb::util
+
+#endif  // TAILBENCH_UTIL_CLOCK_H_

@@ -1,0 +1,107 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <limits>
+
+namespace tb::util {
+
+HdrHistogram::HdrHistogram()
+    : buckets_(kNumBuckets, 0), min_(std::numeric_limits<uint64_t>::max())
+{
+}
+
+int
+HdrHistogram::indexFor(uint64_t valueNs)
+{
+    if (valueNs < 1)
+        valueNs = 1;
+    const int idx = static_cast<int>(
+        std::log10(static_cast<double>(valueNs)) *
+        kSubBucketsPerDecade);
+    if (idx < 0)
+        return 0;
+    if (idx >= kNumBuckets)
+        return kNumBuckets - 1;
+    return idx;
+}
+
+void
+HdrHistogram::record(uint64_t valueNs)
+{
+    if (valueNs < 1)
+        valueNs = 1;
+    buckets_[static_cast<size_t>(indexFor(valueNs))]++;
+    count_++;
+    sum_ += static_cast<double>(valueNs);
+    if (valueNs < min_)
+        min_ = valueNs;
+    if (valueNs > max_)
+        max_ = valueNs;
+}
+
+void
+HdrHistogram::merge(const HdrHistogram& other)
+{
+    for (int i = 0; i < kNumBuckets; i++)
+        buckets_[static_cast<size_t>(i)] +=
+            other.buckets_[static_cast<size_t>(i)];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+}
+
+double
+HdrHistogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t
+HdrHistogram::percentile(double pct) const
+{
+    if (count_ == 0)
+        return 0;
+    if (pct < 0.0)
+        pct = 0.0;
+    if (pct > 100.0)
+        pct = 100.0;
+    // Rank of the target sample, 1-based; ceil so p100 lands on the
+    // last sample and p0 on the first.
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(count_)));
+    if (target < 1)
+        target = 1;
+    uint64_t cum = 0;
+    for (int i = 0; i < kNumBuckets; i++) {
+        cum += buckets_[static_cast<size_t>(i)];
+        if (cum >= target) {
+            const double mid = std::pow(
+                10.0, (static_cast<double>(i) + 0.5) /
+                          kSubBucketsPerDecade);
+            uint64_t v = static_cast<uint64_t>(std::llround(mid));
+            if (v < min_)
+                v = min_;
+            if (v > max_)
+                v = max_;
+            return static_cast<int64_t>(v);
+        }
+    }
+    return static_cast<int64_t>(max_);
+}
+
+void
+HdrHistogram::clear()
+{
+    buckets_.assign(kNumBuckets, 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<uint64_t>::max();
+    max_ = 0;
+}
+
+}  // namespace tb::util

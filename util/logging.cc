@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/clock.h"
+
+namespace tb::util {
+
+namespace {
+
+LogLevel
+parseThreshold()
+{
+    const char* env = std::getenv("TAILBENCH_LOG");
+    if (env == nullptr)
+        return LogLevel::kWarn;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::kInfo;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::kError;
+    return LogLevel::kWarn;
+}
+
+const char*
+tagFor(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel
+logThreshold()
+{
+    static const LogLevel threshold = parseThreshold();
+    return threshold;
+}
+
+void
+logAt(LogLevel level, const char* fmt, ...)
+{
+    if (static_cast<int>(level) < static_cast<int>(logThreshold()))
+        return;
+    const double t = static_cast<double>(monotonicNs()) / 1e9;
+    std::fprintf(stderr, "[%12.6f] %-5s ", t, tagFor(level));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+}  // namespace tb::util

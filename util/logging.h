@@ -1,0 +1,37 @@
+#ifndef TAILBENCH_UTIL_LOGGING_H_
+#define TAILBENCH_UTIL_LOGGING_H_
+
+/**
+ * @file
+ * Minimal leveled logging to stderr.
+ *
+ * Bench drivers print their results on stdout; diagnostics go through
+ * here so `driver > results.txt` stays machine-parsable. The threshold
+ * comes from TAILBENCH_LOG (debug|info|warn|error; default warn).
+ */
+
+#include <cstdarg>
+
+namespace tb::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/** Threshold parsed from TAILBENCH_LOG once, at first use. */
+LogLevel logThreshold();
+
+/** printf-style log line with a level tag and monotonic timestamp. */
+void logAt(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace tb::util
+
+#define TB_LOG_DEBUG(...) \
+    ::tb::util::logAt(::tb::util::LogLevel::kDebug, __VA_ARGS__)
+#define TB_LOG_INFO(...) \
+    ::tb::util::logAt(::tb::util::LogLevel::kInfo, __VA_ARGS__)
+#define TB_LOG_WARN(...) \
+    ::tb::util::logAt(::tb::util::LogLevel::kWarn, __VA_ARGS__)
+#define TB_LOG_ERROR(...) \
+    ::tb::util::logAt(::tb::util::LogLevel::kError, __VA_ARGS__)
+
+#endif  // TAILBENCH_UTIL_LOGGING_H_

@@ -1,0 +1,123 @@
+#ifndef TAILBENCH_UTIL_RNG_H_
+#define TAILBENCH_UTIL_RNG_H_
+
+/**
+ * @file
+ * Seeded pseudo-random number generator for load generation and
+ * synthetic workloads.
+ *
+ * xoshiro256++ with a splitmix64-expanded seed: fast enough for the
+ * open-loop generator's hot path (sub-ns next()) and fully
+ * deterministic, which the whole methodology depends on — the same
+ * TAILBENCH_SEED must produce the same request stream, the same
+ * arrival schedule, and the same per-app service-time draws.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+namespace tb::util {
+
+/** splitmix64 step; also used standalone to derive sub-seeds. */
+inline uint64_t
+splitmix64(uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Mixes two 64-bit values into one (for per-app / per-request seeds). */
+inline uint64_t
+mix64(uint64_t a, uint64_t b)
+{
+    uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+    return splitmix64(s);
+}
+
+class Rng {
+  public:
+    explicit Rng(uint64_t seed = 42)
+    {
+        uint64_t sm = seed;
+        for (auto& w : s_)
+            w = splitmix64(sm);
+    }
+
+    /** Uniform 64-bit value (xoshiro256++). */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, n); returns 0 when n == 0. */
+    uint64_t
+    nextInt(uint64_t n)
+    {
+        return n == 0 ? 0 : next() % n;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Exponentially distributed sample with the given mean — the
+     * open-loop Poisson arrival process draws its interarrival gaps
+     * here. log1p(-u) keeps precision for small u and never takes
+     * log(0) since u < 1.
+     */
+    double
+    nextExponential(double mean)
+    {
+        return -mean * std::log1p(-nextDouble());
+    }
+
+    /** Standard normal sample (Box-Muller, one value per call). */
+    double
+    nextGaussian()
+    {
+        if (have_cached_) {
+            have_cached_ = false;
+            return cached_;
+        }
+        double u1 = nextDouble();
+        while (u1 <= 0.0)
+            u1 = nextDouble();
+        const double u2 = nextDouble();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * 3.14159265358979323846 * u2;
+        cached_ = r * std::sin(theta);
+        have_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s_[4];
+    double cached_ = 0.0;
+    bool have_cached_ = false;
+};
+
+}  // namespace tb::util
+
+#endif  // TAILBENCH_UTIL_RNG_H_

@@ -1,0 +1,85 @@
+#ifndef TAILBENCH_UTIL_STATS_H_
+#define TAILBENCH_UTIL_STATS_H_
+
+/**
+ * @file
+ * Exact sample statistics. percentileOf() is the reference the HDR
+ * histogram is validated against (bench/ablation_methodology.cc) and
+ * the workhorse for small sample sets (per-point medians, CDF dumps).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace tb::util {
+
+/**
+ * Exact percentile of a sample set with linear interpolation between
+ * order statistics (the "linear" / type-7 definition: rank
+ * pct/100 * (n-1)).
+ *
+ * Edge cases: an empty vector returns T{}; a single element returns
+ * that element for every pct. pct is clamped to [0, 100]. For
+ * integral T the interpolated value is rounded to nearest.
+ */
+template <typename T>
+T
+percentileOf(const std::vector<T>& samples, double pct)
+{
+    if (samples.empty())
+        return T{};
+    std::vector<T> v(samples);
+    std::sort(v.begin(), v.end());
+    if (pct <= 0.0)
+        return v.front();
+    if (pct >= 100.0)
+        return v.back();
+    const double rank = pct / 100.0 * static_cast<double>(v.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= v.size())
+        return v.back();
+    const double interp = static_cast<double>(v[lo]) +
+        frac * (static_cast<double>(v[lo + 1]) -
+                static_cast<double>(v[lo]));
+    if constexpr (std::is_integral_v<T>)
+        return static_cast<T>(std::llround(interp));
+    else
+        return static_cast<T>(interp);
+}
+
+/** Arithmetic mean; 0 for an empty set. */
+template <typename T>
+double
+meanOf(const std::vector<T>& samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const T& s : samples)
+        sum += static_cast<double>(s);
+    return sum / static_cast<double>(samples.size());
+}
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+template <typename T>
+double
+stddevOf(const std::vector<T>& samples)
+{
+    if (samples.size() < 2)
+        return 0.0;
+    const double mu = meanOf(samples);
+    double acc = 0.0;
+    for (const T& s : samples) {
+        const double d = static_cast<double>(s) - mu;
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+}  // namespace tb::util
+
+#endif  // TAILBENCH_UTIL_STATS_H_

@@ -1,0 +1,61 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+namespace tb::util {
+
+namespace {
+
+/** zeta(n, theta) = sum_{i=1..n} 1/i^theta. Exact for small n; for
+ * large n the tail beyond kExactTerms is approximated by the integral
+ * of x^-theta (error < one term), which keeps construction O(1)-ish
+ * even for 10^7-item keyspaces. */
+constexpr uint64_t kExactTerms = 100000;
+
+double
+zeta(uint64_t n, double theta)
+{
+    double sum = 0.0;
+    const uint64_t exact = n < kExactTerms ? n : kExactTerms;
+    for (uint64_t i = 1; i <= exact; i++)
+        sum += std::pow(static_cast<double>(i), -theta);
+    if (n > exact) {
+        // Integral of x^-theta from exact+0.5 to n+0.5 (midpoint rule).
+        const double a = static_cast<double>(exact) + 0.5;
+        const double b = static_cast<double>(n) + 0.5;
+        sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+            (1.0 - theta);
+    }
+    return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n < 1 ? 1 : n), theta_(theta)
+{
+    zetan_ = zeta(n_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+        (1.0 - zeta2 / zetan_);
+}
+
+uint64_t
+ZipfianGenerator::next(Rng& rng) const
+{
+    if (n_ == 1)
+        return 0;
+    const double u = rng.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const uint64_t rank = static_cast<uint64_t>(
+        static_cast<double>(n_ - 1) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace tb::util

@@ -1,0 +1,45 @@
+#ifndef TAILBENCH_UTIL_ZIPF_H_
+#define TAILBENCH_UTIL_ZIPF_H_
+
+/**
+ * @file
+ * Zipfian rank generator (Gray et al., as popularized by YCSB).
+ *
+ * The kv-style TailBench apps draw their key popularity from this:
+ * rank 0 is the hottest key. The generator itself is stateless across
+ * draws — all randomness comes from the caller's Rng — so a seeded
+ * request stream is reproducible regardless of which thread draws.
+ */
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace tb::util {
+
+class ZipfianGenerator {
+  public:
+    /**
+     * @param n      number of ranks (items); must be >= 1.
+     * @param theta  skew in [0, 1); 0.99 is the YCSB default. Larger
+     *               is more skewed.
+     */
+    ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+    /** Draws a rank in [0, n); rank 0 is the most popular. */
+    uint64_t next(Rng& rng) const;
+
+    uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+};
+
+}  // namespace tb::util
+
+#endif  // TAILBENCH_UTIL_ZIPF_H_
