@@ -8,6 +8,17 @@ namespace tb::apps {
 
 App::~App() = default;
 
+RequestCost
+App::costFor(const std::string& request) const
+{
+    RequestCost cost;
+    cost.serviceNs = serviceNsFor(request);
+    // instructions stays 0: the synthetic apps have no instruction
+    // model of their own, so the simulator derives the count from the
+    // profile's per-instruction cost (keeping implied IPC consistent).
+    return cost;
+}
+
 const std::vector<std::string>&
 appNames()
 {

@@ -61,6 +61,30 @@ struct AppProfile {
     double tailMult = 1.0;
 };
 
+/**
+ * Nominal instruction retire rate (instructions per nanosecond) used
+ * only as an upper bound when estimating an app's DRAM traffic for
+ * bandwidth-contention modeling. It does NOT set
+ * MachineStats::instructions — the simulator derives that from the
+ * model service time and the profile's per-instruction cost, so the
+ * implied IPC stays consistent with the timing model.
+ */
+inline constexpr double kRefInstructionsPerNs = 2.0;
+
+/**
+ * Deterministic virtual cost of one request — what the virtual-time
+ * simulator charges instead of executing the wall-clock kernel.
+ * serviceNs is the model service time on the reference machine (the
+ * same draw process() paces against). instructions may carry an
+ * app-level instruction count for apps that model one; 0 (the
+ * default) tells the simulator to derive the count from serviceNs and
+ * the AppProfile's per-instruction cost on the reference machine.
+ */
+struct RequestCost {
+    int64_t serviceNs = 0;
+    uint64_t instructions = 0;
+};
+
 class App {
   public:
     virtual ~App();
@@ -90,6 +114,14 @@ class App {
      * reproducibility checks and by the virtual-time simulator.
      */
     virtual int64_t serviceNsFor(const std::string& request) const = 0;
+
+    /**
+     * Virtual cost hook for the simulator: the model service time of
+     * @p request plus an instruction count at kRefInstructionsPerNs.
+     * Pure function of (payload, AppConfig::seed), like serviceNsFor;
+     * apps with a real instruction model can override.
+     */
+    virtual RequestCost costFor(const std::string& request) const;
 
     virtual AppProfile profile() const = 0;
 

@@ -1,33 +1,12 @@
 #include "core/harness.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/stats.h"
 
 namespace tb::core {
 
 Harness::~Harness() = default;
-
-namespace {
-
-/** percentileOf's type-7 definition, but over an already-sorted
- * vector so one sort serves all three percentiles. */
-int64_t
-percentileSorted(const std::vector<int64_t>& sorted, double pct)
-{
-    const double rank = pct / 100.0 *
-        static_cast<double>(sorted.size() - 1);
-    const size_t lo = static_cast<size_t>(rank);
-    if (lo + 1 >= sorted.size())
-        return sorted.back();
-    const double frac = rank - static_cast<double>(lo);
-    return static_cast<int64_t>(std::llround(
-        static_cast<double>(sorted[lo]) +
-        frac * static_cast<double>(sorted[lo + 1] - sorted[lo])));
-}
-
-}  // namespace
 
 LatencySummary
 summarizeNs(const std::vector<int64_t>& samples)
@@ -39,9 +18,9 @@ summarizeNs(const std::vector<int64_t>& samples)
     std::vector<int64_t> sorted(samples);
     std::sort(sorted.begin(), sorted.end());
     s.meanNs = util::meanOf(sorted);
-    s.p50Ns = percentileSorted(sorted, 50.0);
-    s.p95Ns = percentileSorted(sorted, 95.0);
-    s.p99Ns = percentileSorted(sorted, 99.0);
+    s.p50Ns = util::percentileOfSorted(sorted, 50.0);
+    s.p95Ns = util::percentileOfSorted(sorted, 95.0);
+    s.p99Ns = util::percentileOfSorted(sorted, 99.0);
     return s;
 }
 

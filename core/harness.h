@@ -69,6 +69,16 @@ struct RunResult {
     /** Measured completions / measured wall-clock span. */
     double achievedQps = 0.0;
     LatencyReport latency;
+    /**
+     * Worst lag of the load generator behind its own open-loop
+     * schedule: max over requests of (actual push time - scheduled
+     * arrival). Zero for virtual-time harnesses. A lag beyond one mean
+     * interarrival gap means the generator could not sustain the
+     * nominal rate — the offered load was silently lower than
+     * configured, which invalidates the run (the harness also logs a
+     * warning when that happens).
+     */
+    int64_t maxGenLagNs = 0;
     /** Per-request timings (measured window only), in generation
      * order; populated only when HarnessConfig::keepSamples. */
     std::vector<RequestTiming> samples;

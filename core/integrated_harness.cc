@@ -47,9 +47,16 @@ IntegratedHarness::run(apps::App& app, const HarnessConfig& cfg)
     // the *scheduled* arrival; sleepUntilNs returns immediately if the
     // generator has fallen behind, so the schedule never stretches to
     // accommodate a slow server.
+    //
+    // genRequest() runs on this critical path, so a slow generator can
+    // fall behind its own schedule — shrinking the offered load below
+    // nominal without any visible failure. Track the worst lag
+    // (actual push vs. scheduled arrival) so runs where the generator
+    // could not keep up are detectable instead of silently optimistic.
+    int64_t max_lag_ns = 0;
+    const double gap_mean_ns = 1e9 / cfg.qps;
     {
         util::Rng rng(cfg.seed);
-        const double gap_mean_ns = 1e9 / cfg.qps;
         double next = static_cast<double>(util::monotonicNs()) + 1000.0;
         for (uint64_t i = 0; i < total; i++) {
             next += rng.nextExponential(gap_mean_ns);
@@ -59,10 +66,19 @@ IntegratedHarness::run(apps::App& app, const HarnessConfig& cfg)
             req.payload = app.genRequest(rng);
             req.genNs = scheduled;
             util::sleepUntilNs(scheduled);
+            const int64_t lag = util::monotonicNs() - scheduled;
+            if (lag > max_lag_ns)
+                max_lag_ns = lag;
             queue.push(std::move(req));
         }
     }
     queue.close();
+    if (static_cast<double>(max_lag_ns) > gap_mean_ns)
+        TB_LOG_WARN("open-loop generator fell %.1f us behind its "
+                    "schedule (mean interarrival gap %.1f us): offered "
+                    "load was below the nominal %.0f qps",
+                    static_cast<double>(max_lag_ns) / 1e3,
+                    gap_mean_ns / 1e3, cfg.qps);
     for (std::thread& t : worker_threads)
         t.join();
 
@@ -71,6 +87,7 @@ IntegratedHarness::run(apps::App& app, const HarnessConfig& cfg)
     for (std::vector<RequestTiming>& v : per_worker)
         all.insert(all.end(), v.begin(), v.end());
     RunResult result = buildRunResult(std::move(all), cfg.keepSamples);
+    result.maxGenLagNs = max_lag_ns;
     TB_LOG_DEBUG("integrated run: app=%s offered=%.0f qps achieved=%.0f "
                  "qps threads=%u measured=%llu p95=%.3f ms",
                  app.name().c_str(), cfg.qps, result.achievedQps,

@@ -1,0 +1,204 @@
+#include "sim/sim_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tb::sim {
+
+namespace {
+
+/** Cycles per instruction with every cache/branch event priced
+ * separately (L1 hits folded in, per sim/machine.h). */
+constexpr double kBaseCpi = 1.0;
+
+/** DRAM traffic each batch corunner streams, GB/s. */
+constexpr double kCorunnerDramGBs = 2.5;
+
+/** Cap on modeled DRAM channel utilization so the latency inflation
+ * 1/(1-rho) stays finite under full saturation. */
+constexpr double kMaxDramRho = 0.95;
+
+/** Bytes moved per L3 miss (one cache line). */
+constexpr double kLineBytes = 64.0;
+
+/** Generic SMP scaling loss per additional active core (coherence,
+ * shared-structure pressure) applied to every request. */
+constexpr double kSmpPenaltyPerCore = 0.03;
+
+/**
+ * DRAM channel utilization: the app's own miss traffic on every
+ * active core (as if running at full reference speed — an upper
+ * bound, the right bias for a contention penalty) plus the corunners'
+ * streams, against the machine's peak bandwidth.
+ */
+double
+dramUtilization(const MachineConfig& machine,
+                const apps::AppProfile& profile, unsigned activeCores)
+{
+    // misses/instr * bytes/miss * instr/ns = bytes/ns = GB/s.
+    const double app_gbs = effectiveL3Mpki(machine, profile) / 1000.0 *
+        kLineBytes * apps::kRefInstructionsPerNs;
+    const double demand_gbs = app_gbs * activeCores +
+        kCorunnerDramGBs * machine.batchCorunners;
+    return std::min(demand_gbs / machine.dramPeakGBs, kMaxDramRho);
+}
+
+}  // namespace
+
+double
+effectiveL3Mpki(const MachineConfig& machine,
+                const apps::AppProfile& profile)
+{
+    if (machine.batchCorunners == 0)
+        return profile.l3MpkiFull;
+    // llcShare = llcMb / (1 + corunners); miss rate ~ sqrt of the
+    // capacity ratio llcMb/llcShare, so llcMb cancels out. An L3 miss
+    // is an L2 miss that reached the LLC, so no amount of capacity
+    // pressure can push the miss rate past the L3 *access* rate.
+    const double capacity_ratio =
+        1.0 + static_cast<double>(machine.batchCorunners);
+    return std::min(profile.l3MpkiFull * std::sqrt(capacity_ratio),
+                    profile.l2Mpki);
+}
+
+double
+nsPerInstruction(const MachineConfig& machine,
+                 const apps::AppProfile& profile, unsigned activeCores)
+{
+    const double core_cycles = kBaseCpi +
+        profile.branchMpki / 1000.0 * machine.branchPenaltyCycles;
+    double stall_ns = 0.0;
+    if (!machine.idealMemory) {
+        const double cache_cycles =
+            (profile.l1iMpki + profile.l1dMpki) / 1000.0 *
+                machine.l2HitCycles +
+            profile.l2Mpki / 1000.0 * machine.l3HitCycles;
+        // Queueing at the memory controller: latency inflates as
+        // 1/(1-rho) with channel utilization, so bandwidth-heavy apps
+        // (and their corunners) feel contention disproportionately.
+        const double rho =
+            dramUtilization(machine, profile, activeCores);
+        const double dram_ns = machine.dramLatencyNs / (1.0 - rho);
+        stall_ns = cache_cycles / machine.freqGhz +
+            effectiveL3Mpki(machine, profile) / 1000.0 * dram_ns;
+    }
+    return core_cycles / machine.freqGhz + stall_ns;
+}
+
+core::RunResult
+SimHarness::run(apps::App& app, const core::HarnessConfig& cfg)
+{
+    stats_ = MachineStats{};
+    const uint64_t total = cfg.warmupRequests + cfg.measuredRequests;
+    if (total == 0 || cfg.qps <= 0.0)
+        return core::RunResult{};
+    const unsigned cores = cfg.workerThreads == 0
+        ? 1
+        : cfg.workerThreads;
+
+    // Per-run service scale: model draws are defined on the reference
+    // machine (default config, one core); every request on this
+    // machine costs that draw times the per-instruction cost ratio,
+    // plus the generic SMP loss.
+    const apps::AppProfile profile = app.profile();
+    const double ref_ns = nsPerInstruction(MachineConfig{}, profile, 1);
+    const double sim_ns = nsPerInstruction(machine_, profile, cores);
+    const double scale = sim_ns / ref_ns *
+        (1.0 + kSmpPenaltyPerCore * (cores - 1));
+
+    const bool sleep_enabled = machine_.sleepEntryNs > 0.0 &&
+        machine_.sleepWakeNs > 0.0;
+    const double l3_mpki_eff = effectiveL3Mpki(machine_, profile);
+
+    // Same generator structure (and Rng consumption order) as the
+    // integrated harness, so one seed means one request stream across
+    // harness configurations — arrivals just live in virtual time.
+    util::Rng rng(cfg.seed);
+    const double gap_mean_ns = 1e9 / cfg.qps;
+    double next = 1000.0;
+
+    // free_at[c]: virtual instant core c finishes its backlog. FCFS
+    // central dispatch: each arrival goes to the earliest-free core,
+    // so per-core run queues never idle while work waits.
+    std::vector<double> free_at(cores, 0.0);
+    std::vector<core::RequestTiming> timings;
+    timings.reserve(cfg.measuredRequests);
+
+    double instructions = 0.0;
+    double cycles = 0.0;
+    uint64_t wakeups = 0;
+    for (uint64_t i = 0; i < total; i++) {
+        next += rng.nextExponential(gap_mean_ns);
+        const double arrival = next;
+        const std::string payload = app.genRequest(rng);
+        const apps::RequestCost cost = app.costFor(payload);
+        const double service =
+            static_cast<double>(cost.serviceNs) * scale;
+
+        unsigned c = 0;
+        for (unsigned k = 1; k < cores; k++) {
+            if (free_at[k] < free_at[c])
+                c = k;
+        }
+        double start = std::max(arrival, free_at[c]);
+        bool woke = false;
+        // Cores idle from virtual t=0; an idle gap of sleepEntryNs
+        // puts the core into the deep state and the next request pays
+        // the wake transition before service begins.
+        if (sleep_enabled && start - free_at[c] >= machine_.sleepEntryNs) {
+            start += machine_.sleepWakeNs;
+            woke = true;
+        }
+        const double end = start + service;
+        free_at[c] = end;
+
+        if (i >= cfg.warmupRequests) {
+            core::RequestTiming t;
+            t.genNs = static_cast<int64_t>(arrival);
+            t.startNs = static_cast<int64_t>(start);
+            t.endNs = static_cast<int64_t>(end);
+            timings.push_back(t);
+            // Instruction count: the app's own model if it has one,
+            // else the count the reference machine retires in the
+            // model service time at the profile's per-instruction
+            // cost — which keeps implied IPC (cycles/instructions)
+            // consistent with the timing model for every app.
+            instructions += cost.instructions > 0
+                ? static_cast<double>(cost.instructions)
+                : static_cast<double>(cost.serviceNs) / ref_ns;
+            cycles += service * machine_.freqGhz;
+            if (woke)
+                wakeups++;
+        }
+    }
+
+    stats_.instructions = static_cast<uint64_t>(instructions);
+    stats_.cycles = static_cast<uint64_t>(cycles);
+    const auto misses = [&](double mpki) {
+        return static_cast<uint64_t>(instructions * mpki / 1000.0);
+    };
+    stats_.l1iMisses = misses(profile.l1iMpki);
+    stats_.l1dMisses = misses(profile.l1dMpki);
+    stats_.l2Misses = misses(profile.l2Mpki);
+    stats_.l3Misses = misses(l3_mpki_eff);
+    stats_.branchMisses = misses(profile.branchMpki);
+    stats_.sleepWakeups = wakeups;
+
+    core::RunResult result =
+        buildRunResult(std::move(timings), cfg.keepSamples);
+    // Virtual time never lags its own schedule.
+    result.maxGenLagNs = 0;
+    TB_LOG_DEBUG("sim run: app=%s offered=%.0f qps achieved=%.0f qps "
+                 "cores=%u scale=%.3f p95=%.3f ms wakeups=%llu",
+                 app.name().c_str(), cfg.qps, result.achievedQps, cores,
+                 scale,
+                 static_cast<double>(result.latency.sojourn.p95Ns) / 1e6,
+                 static_cast<unsigned long long>(wakeups));
+    return result;
+}
+
+}  // namespace tb::sim

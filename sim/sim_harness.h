@@ -1,0 +1,101 @@
+#ifndef TAILBENCH_SIM_SIM_HARNESS_H_
+#define TAILBENCH_SIM_SIM_HARNESS_H_
+
+/**
+ * @file
+ * Virtual-time simulation harness (the paper's simulated-machine
+ * configuration, Sec. III-C / Table II).
+ *
+ * Event-driven and entirely in virtual nanoseconds: the same open-loop
+ * Poisson arrival schedule as the integrated harness, dispatched FCFS
+ * to workerThreads simulated cores (each request to the earliest-free
+ * core), with per-request service times charged from the app's
+ * deterministic cost model instead of executed on the wall clock. No
+ * host time is read anywhere, so a (app, config, seed) triple yields
+ * bit-identical results run after run and the multithreaded sweeps
+ * (Fig. 4) are faithful even on small hosts.
+ *
+ * Timing model, driven by MachineConfig:
+ *
+ *   The app's model service time is defined on the *reference* machine
+ *   (a default MachineConfig, one active core). Each request's
+ *   simulated service time is the model draw scaled by the ratio of
+ *   mean per-instruction cost on the simulated machine vs. the
+ *   reference:
+ *
+ *     ns/instr = [baseCPI + branchMPKI/1000 * branchPenalty
+ *                 + L1{i,d}MPKI/1000 * l2HitCycles
+ *                 + L2MPKI/1000 * l3HitCycles] / freqGhz
+ *               + L3MPKI_eff/1000 * dramLatency_eff
+ *
+ *   with the MPKI targets from AppProfile (Table I). Cycle-priced
+ *   terms scale with DVFS (freqGhz); the DRAM term is wall-time and
+ *   does not — which is exactly why memory-bound apps offer DVFS
+ *   slack. idealMemory zeroes every term after baseCPI+branch (the
+ *   Fig. 8 case-study mode). batchCorunners shrink the app's LLC
+ *   share, inflating L3MPKI_eff (capped at the L3 access rate), and
+ *   stream through DRAM: dramLatency_eff = dramLatency / (1 - rho)
+ *   with rho the channel utilization from all active cores' miss
+ *   traffic plus the corunners' streams against dramPeakGBs. The
+ *   sleep-state model puts an idle core to sleep after sleepEntryNs
+ *   and charges sleepWakeNs to the first request that wakes it.
+ *
+ * Everything the timing model charges accumulates into MachineStats
+ * (instructions, cycles, per-level misses, wakeups) over the measured
+ * window, readable via lastStats().
+ */
+
+#include <string>
+
+#include "core/harness.h"
+#include "sim/machine.h"
+
+namespace tb::sim {
+
+class SimHarness final : public core::Harness {
+  public:
+    SimHarness() = default;
+    explicit SimHarness(const MachineConfig& machine)
+        : machine_(machine)
+    {
+    }
+
+    core::RunResult run(apps::App& app,
+                        const core::HarnessConfig& cfg) override;
+
+    std::string configName() const override { return "simulation"; }
+
+    const MachineConfig& machine() const { return machine_; }
+
+    /** Timing-model counters accumulated over the measured window of
+     * the most recent run(). */
+    const MachineStats& lastStats() const { return stats_; }
+
+  private:
+    MachineConfig machine_;
+    MachineStats stats_;
+};
+
+/**
+ * L3 MPKI after LLC capacity pressure from batch corunners: the app's
+ * share of the LLC is llcMb/(1+batchCorunners), and the miss rate
+ * grows with the square root of the capacity loss (the usual
+ * rule-of-thumb shape of miss-rate-vs-capacity curves). Exposed for
+ * tests.
+ */
+double effectiveL3Mpki(const MachineConfig& machine,
+                       const apps::AppProfile& profile);
+
+/**
+ * Mean cost of one instruction of @p profile on @p machine, in
+ * nanoseconds, with @p activeCores cores sharing DRAM bandwidth
+ * alongside any batch corunners. The core of the timing model;
+ * exposed for tests.
+ */
+double nsPerInstruction(const MachineConfig& machine,
+                        const apps::AppProfile& profile,
+                        unsigned activeCores);
+
+}  // namespace tb::sim
+
+#endif  // TAILBENCH_SIM_SIM_HARNESS_H_

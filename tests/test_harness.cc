@@ -106,6 +106,9 @@ main()
         const RunResult r = harness.run(*app, cfg);
         CHECK_EQ(r.latency.sojourn.count, static_cast<uint64_t>(200));
         CHECK(r.achievedQps < 5.0 * sat);
+        // At 50x saturation the generator cannot hold its own
+        // schedule either; the lag tracker must report that.
+        CHECK(r.maxGenLagNs > 0);
         // Under overload, sojourn is dominated by queueing.
         CHECK(r.latency.sojourn.meanNs >
               4.0 * r.latency.service.meanNs);

@@ -1,0 +1,224 @@
+/** Unit tests: sim/sim_harness.cc virtual-time simulation — exact
+ * reproducibility, and the timing model's response to idealMemory,
+ * DVFS, corunners, and sleep states. */
+
+#include "sim/sim_harness.h"
+
+#include <string>
+
+#include "core/methodology.h"
+
+#include "tests/test_util.h"
+
+using tb::apps::AppConfig;
+using tb::apps::AppProfile;
+using tb::apps::makeApp;
+using tb::core::HarnessConfig;
+using tb::core::RunResult;
+using tb::sim::MachineConfig;
+using tb::sim::MachineStats;
+using tb::sim::SimHarness;
+
+namespace {
+
+std::unique_ptr<tb::apps::App>
+makeTestApp(const std::string& name)
+{
+    auto app = makeApp(name);
+    AppConfig cfg;
+    cfg.seed = 42;
+    cfg.sizeFactor = 0.25;
+    app->init(cfg);
+    return app;
+}
+
+HarnessConfig
+runConfig(double qps, unsigned threads, uint64_t seed)
+{
+    HarnessConfig cfg;
+    cfg.qps = qps;
+    cfg.workerThreads = threads;
+    cfg.warmupRequests = 100;
+    cfg.measuredRequests = 2000;
+    cfg.seed = seed;
+    cfg.keepSamples = true;
+    return cfg;
+}
+
+}  // namespace
+
+int
+main()
+{
+    auto app = makeTestApp("silo");
+    SimHarness nominal;
+    CHECK(nominal.configName() == std::string("simulation"));
+
+    // Degenerate configs return an empty result.
+    {
+        HarnessConfig cfg;
+        cfg.warmupRequests = 0;
+        cfg.measuredRequests = 0;
+        const RunResult r = nominal.run(*app, cfg);
+        CHECK_EQ(r.latency.sojourn.count, static_cast<uint64_t>(0));
+    }
+
+    // Virtual-time saturation: for silo at sizeFactor 0.25 the model
+    // mean service is ~10 us, so one simulated core saturates near
+    // 100k qps. The estimate must not depend on host speed.
+    const double sat = tb::core::estimateSaturationQps(
+        nominal, *app, 1, 42, 400);
+    CHECK(sat > 2e4);
+    CHECK(sat < 1e6);
+
+    // Exact reproducibility: identical (config, seed) gives
+    // bit-identical latency summaries, samples, and machine counters.
+    {
+        const HarnessConfig cfg = runConfig(0.5 * sat, 2, 7);
+        const RunResult a = nominal.run(*app, cfg);
+        const MachineStats sa = nominal.lastStats();
+        const RunResult b = nominal.run(*app, cfg);
+        const MachineStats sb = nominal.lastStats();
+
+        CHECK_EQ(a.achievedQps, b.achievedQps);
+        CHECK_EQ(a.latency.sojourn.meanNs, b.latency.sojourn.meanNs);
+        CHECK_EQ(a.latency.sojourn.p95Ns, b.latency.sojourn.p95Ns);
+        CHECK_EQ(a.latency.sojourn.p99Ns, b.latency.sojourn.p99Ns);
+        CHECK_EQ(a.latency.queueing.meanNs, b.latency.queueing.meanNs);
+        CHECK_EQ(a.latency.service.meanNs, b.latency.service.meanNs);
+        CHECK_EQ(a.samples.size(), b.samples.size());
+        for (size_t i = 0; i < a.samples.size(); i++) {
+            CHECK_EQ(a.samples[i].genNs, b.samples[i].genNs);
+            CHECK_EQ(a.samples[i].startNs, b.samples[i].startNs);
+            CHECK_EQ(a.samples[i].endNs, b.samples[i].endNs);
+        }
+        CHECK_EQ(sa.instructions, sb.instructions);
+        CHECK_EQ(sa.cycles, sb.cycles);
+        CHECK_EQ(sa.l3Misses, sb.l3Misses);
+        CHECK_EQ(sa.sleepWakeups, sb.sleepWakeups);
+
+        // Virtual time cannot lag; timestamps hold the invariants.
+        CHECK_EQ(a.maxGenLagNs, static_cast<int64_t>(0));
+        for (const auto& t : a.samples) {
+            CHECK(t.startNs >= t.genNs);
+            CHECK(t.serviceNs() > 0);
+        }
+
+        // Counters are plausible: instructions accumulate and every
+        // cycle count exceeds the instruction count (CPI > 1 with
+        // stalls priced in).
+        CHECK(sa.instructions > 0);
+        CHECK(sa.cycles > sa.instructions);
+        CHECK(sa.mpki(sa.l3Misses) > 0.0);
+    }
+
+    // idealMemory strictly lowers mean service (zeroed stalls), and
+    // the per-instruction model agrees for every app profile.
+    {
+        MachineConfig ideal;
+        ideal.idealMemory = true;
+        SimHarness h(ideal);
+        const HarnessConfig cfg = runConfig(0.3 * sat, 1, 11);
+        const RunResult full = nominal.run(*app, cfg);
+        const RunResult fast = h.run(*app, cfg);
+        CHECK(fast.latency.service.meanNs <
+              full.latency.service.meanNs);
+        // Even with stalls zeroed, CPI cannot drop below the base
+        // CPI: counters stay consistent with the timing model.
+        CHECK(h.lastStats().cycles >= h.lastStats().instructions);
+
+        for (const std::string& name : tb::apps::appNames()) {
+            const AppProfile p = makeApp(name)->profile();
+            CHECK(tb::sim::nsPerInstruction(ideal, p, 1) <
+                  tb::sim::nsPerInstruction(MachineConfig{}, p, 1));
+        }
+    }
+
+    // DVFS: halving the clock strictly raises mean service, but by
+    // less than 2x (the DRAM component does not scale with frequency).
+    {
+        MachineConfig slow;
+        slow.freqGhz = 1.2;
+        SimHarness h(slow);
+        const HarnessConfig cfg = runConfig(0.2 * sat, 1, 13);
+        const RunResult fast = nominal.run(*app, cfg);
+        const RunResult halved = h.run(*app, cfg);
+        CHECK(halved.latency.service.meanNs >
+              fast.latency.service.meanNs);
+        CHECK(halved.latency.service.meanNs <
+              2.0 * fast.latency.service.meanNs);
+    }
+
+    // Batch corunners inflate the effective L3 MPKI and mean service.
+    {
+        MachineConfig crowded;
+        crowded.batchCorunners = 4;
+        SimHarness h(crowded);
+        const HarnessConfig cfg = runConfig(0.2 * sat, 1, 17);
+        const RunResult clean = nominal.run(*app, cfg);
+        const RunResult shared = h.run(*app, cfg);
+        CHECK(shared.latency.service.meanNs >
+              clean.latency.service.meanNs);
+        CHECK(tb::sim::effectiveL3Mpki(crowded, app->profile()) >
+              app->profile().l3MpkiFull);
+        // No pressure can create more L3 misses than L3 accesses
+        // (= L2 misses), for any profile or corunner count.
+        for (const std::string& name : tb::apps::appNames()) {
+            const AppProfile p = makeApp(name)->profile();
+            for (unsigned n : {1u, 2u, 4u, 6u, 16u}) {
+                MachineConfig mc;
+                mc.batchCorunners = n;
+                CHECK(tb::sim::effectiveL3Mpki(mc, p) <= p.l2Mpki);
+            }
+        }
+        CHECK(h.lastStats().l3Misses <= h.lastStats().l2Misses);
+    }
+
+    // Sleep states: the wake penalty appears at low load (long idle
+    // gaps enter the deep state) and vanishes at high load (cores
+    // never idle long enough).
+    {
+        const double mean_svc_ns = 1e9 / sat;
+        MachineConfig sleepy;
+        sleepy.sleepEntryNs = 5.0 * mean_svc_ns;
+        sleepy.sleepWakeNs = 10.0 * mean_svc_ns;
+        SimHarness h(sleepy);
+
+        const HarnessConfig low = runConfig(0.01 * sat, 1, 19);
+        const RunResult r_low = h.run(*app, low);
+        const uint64_t wake_low = h.lastStats().sleepWakeups;
+
+        const HarnessConfig high = runConfig(0.8 * sat, 1, 19);
+        const RunResult r_high = h.run(*app, high);
+        const uint64_t wake_high = h.lastStats().sleepWakeups;
+
+        // At 1% load nearly every gap exceeds the entry threshold; at
+        // 80% load almost none do.
+        CHECK(wake_low > r_low.latency.sojourn.count / 2);
+        CHECK(wake_high < r_high.latency.sojourn.count / 5);
+
+        // The low-load median sojourn carries the wake transition.
+        const RunResult r_ref = nominal.run(*app, low);
+        CHECK(static_cast<double>(r_low.latency.sojourn.p50Ns) >
+              static_cast<double>(r_ref.latency.sojourn.p50Ns) +
+                  0.5 * sleepy.sleepWakeNs);
+
+        // With the model disabled (default config) no wakeups accrue.
+        nominal.run(*app, low);
+        CHECK_EQ(nominal.lastStats().sleepWakeups,
+                 static_cast<uint64_t>(0));
+    }
+
+    // Two simulated cores nearly double overload throughput (modest
+    // SMP + bandwidth losses allowed).
+    {
+        HarnessConfig cfg = runConfig(20.0 * sat, 1, 23);
+        const double one = nominal.run(*app, cfg).achievedQps;
+        cfg.workerThreads = 2;
+        const double two = nominal.run(*app, cfg).achievedQps;
+        CHECK(two > 1.5 * one);
+        CHECK(two < 2.2 * one);
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -65,6 +65,39 @@ main()
         CHECK(static_cast<double>(head) / draws > 0.15);
     }
 
+    // Regression: theta = 1.0 (classic Zipf) used to divide by zero in
+    // both the zeta tail and the rank exponent, *inverting* the skew —
+    // the sample mean rank came out ~800 of 1000 instead of the
+    // analytic n/H_n ~ 134. Assert the skew points the right way and
+    // is at least as sharp as theta = 0.99.
+    {
+        const uint64_t n = 1000;
+        const int draws = 200000;
+        const auto mean_rank = [&](double theta, uint64_t seed) {
+            ZipfianGenerator z(n, theta);
+            Rng rng(seed);
+            double sum = 0.0;
+            for (int i = 0; i < draws; i++) {
+                const uint64_t rank = z.next(rng);
+                CHECK(rank < n);
+                sum += static_cast<double>(rank);
+            }
+            return sum / draws;
+        };
+        const double mean10 = mean_rank(1.0, 1234);
+        const double mean099 = mean_rank(0.99, 1234);
+        CHECK(mean10 < 250.0);       // far below n/2 = 500
+        CHECK(mean10 < mean099);     // more skew than theta = 0.99
+        // And rank 0 is the clear head (analytically 1/H_1000 ~ 13%).
+        ZipfianGenerator z(n, 1.0);
+        Rng rng(99);
+        int zero = 0;
+        for (int i = 0; i < draws; i++)
+            if (z.next(rng) == 0)
+                zero++;
+        CHECK(static_cast<double>(zero) / draws > 0.08);
+    }
+
     // theta = 0 is uniform-ish: rank 0 near its fair share.
     {
         const uint64_t n = 100;

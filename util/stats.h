@@ -17,14 +17,42 @@
 namespace tb::util {
 
 /**
- * Exact percentile of a sample set with linear interpolation between
- * order statistics (the "linear" / type-7 definition: rank
- * pct/100 * (n-1)).
+ * Exact percentile of an *already sorted* sample set with linear
+ * interpolation between order statistics (the "linear" / type-7
+ * definition: rank pct/100 * (n-1)). The single source of the
+ * percentile math — percentileOf and the harness summaries both call
+ * it, so there is one definition to diverge from rather than two.
  *
  * Edge cases: an empty vector returns T{}; a single element returns
  * that element for every pct. pct is clamped to [0, 100]. For
  * integral T the interpolated value is rounded to nearest.
  */
+template <typename T>
+T
+percentileOfSorted(const std::vector<T>& sorted, double pct)
+{
+    if (sorted.empty())
+        return T{};
+    if (pct <= 0.0)
+        return sorted.front();
+    if (pct >= 100.0)
+        return sorted.back();
+    const double rank = pct / 100.0 *
+        static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    const double interp = static_cast<double>(sorted[lo]) +
+        frac * (static_cast<double>(sorted[lo + 1]) -
+                static_cast<double>(sorted[lo]));
+    if constexpr (std::is_integral_v<T>)
+        return static_cast<T>(std::llround(interp));
+    else
+        return static_cast<T>(interp);
+}
+
+/** percentileOfSorted over an unsorted sample set (copies + sorts). */
 template <typename T>
 T
 percentileOf(const std::vector<T>& samples, double pct)
@@ -33,22 +61,7 @@ percentileOf(const std::vector<T>& samples, double pct)
         return T{};
     std::vector<T> v(samples);
     std::sort(v.begin(), v.end());
-    if (pct <= 0.0)
-        return v.front();
-    if (pct >= 100.0)
-        return v.back();
-    const double rank = pct / 100.0 * static_cast<double>(v.size() - 1);
-    const size_t lo = static_cast<size_t>(rank);
-    const double frac = rank - static_cast<double>(lo);
-    if (lo + 1 >= v.size())
-        return v.back();
-    const double interp = static_cast<double>(v[lo]) +
-        frac * (static_cast<double>(v[lo + 1]) -
-                static_cast<double>(v[lo]));
-    if constexpr (std::is_integral_v<T>)
-        return static_cast<T>(std::llround(interp));
-    else
-        return static_cast<T>(interp);
+    return percentileOfSorted(v, pct);
 }
 
 /** Arithmetic mean; 0 for an empty set. */

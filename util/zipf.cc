@@ -12,6 +12,11 @@ namespace {
  * even for 10^7-item keyspaces. */
 constexpr uint64_t kExactTerms = 100000;
 
+/** Below this |1 - theta|, the closed forms that divide by (1 - theta)
+ * switch to their theta = 1 limits (the integral of x^-theta becomes
+ * logarithmic, and the rank exponent 1/(1-theta) is clamped). */
+constexpr double kThetaOneEps = 1e-4;
+
 double
 zeta(uint64_t n, double theta)
 {
@@ -21,10 +26,17 @@ zeta(uint64_t n, double theta)
         sum += std::pow(static_cast<double>(i), -theta);
     if (n > exact) {
         // Integral of x^-theta from exact+0.5 to n+0.5 (midpoint rule).
+        // At theta = 1 the antiderivative x^(1-theta)/(1-theta)
+        // degenerates to log(x); dividing by (1-theta) there returns
+        // NaN/inf and silently inverts the skew downstream.
         const double a = static_cast<double>(exact) + 0.5;
         const double b = static_cast<double>(n) + 0.5;
-        sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
-            (1.0 - theta);
+        if (std::fabs(1.0 - theta) < kThetaOneEps)
+            sum += std::log(b / a);
+        else
+            sum += (std::pow(b, 1.0 - theta) -
+                    std::pow(a, 1.0 - theta)) /
+                (1.0 - theta);
     }
     return sum;
 }
@@ -35,9 +47,17 @@ ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
     : n_(n < 1 ? 1 : n), theta_(theta)
 {
     zetan_ = zeta(n_, theta_);
-    alpha_ = 1.0 / (1.0 - theta_);
+    // Gray et al.'s inversion raises to alpha = 1/(1-theta), which
+    // blows up at theta = 1 (classic Zipf). Evaluating the inversion
+    // at a theta infinitesimally below 1 keeps every term finite and
+    // converges to the theta = 1 distribution; zetan_ itself is exact.
+    const double theta_inv = std::fabs(1.0 - theta_) < kThetaOneEps
+        ? 1.0 - kThetaOneEps
+        : theta_;
+    alpha_ = 1.0 / (1.0 - theta_inv);
     const double zeta2 = zeta(2, theta_);
-    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+    eta_ = (1.0 -
+            std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_inv)) /
         (1.0 - zeta2 / zetan_);
 }
 

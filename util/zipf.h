@@ -21,8 +21,8 @@ class ZipfianGenerator {
   public:
     /**
      * @param n      number of ranks (items); must be >= 1.
-     * @param theta  skew in [0, 1); 0.99 is the YCSB default. Larger
-     *               is more skewed.
+     * @param theta  skew in [0, 1]; 0.99 is the YCSB default, 1.0 is
+     *               classic Zipf. Larger is more skewed.
      */
     ZipfianGenerator(uint64_t n, double theta = 0.99);
 
