@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <vector>
 

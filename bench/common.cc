@@ -154,4 +154,22 @@ fmtMs(double ns)
     return buf;
 }
 
+bool
+genLagInvalidates(const core::RunResult& r, double qps)
+{
+    if (qps <= 0.0)
+        return false;
+    return static_cast<double>(r.maxGenLagNs) > 1e9 / qps;
+}
+
+std::string
+fmtP95Cell(const core::RunResult& r, double qps)
+{
+    std::string cell =
+        fmtMs(static_cast<double>(r.latency.sojourn.p95Ns));
+    if (genLagInvalidates(r, qps))
+        cell += "!";
+    return cell;
+}
+
 }  // namespace tb::bench

@@ -82,6 +82,19 @@ void printHeader(const std::string& title);
 /** Formats nanoseconds as milliseconds with 3 decimals. */
 std::string fmtMs(double ns);
 
+/**
+ * True when the run's open-loop generator fell more than one mean
+ * interarrival gap behind its own schedule (RunResult::maxGenLagNs):
+ * the *offered* load was silently below @p qps, so the point measures
+ * less load than its row claims.
+ */
+bool genLagInvalidates(const core::RunResult& r, double qps);
+
+/** p95 sojourn cell for sweep tables: fmtMs(p95), with a trailing "!"
+ * when genLagInvalidates — invalidated points are visible in driver
+ * output instead of only in a warning log line. */
+std::string fmtP95Cell(const core::RunResult& r, double qps);
+
 }  // namespace tb::bench
 
 #endif  // TAILBENCH_BENCH_COMMON_H_

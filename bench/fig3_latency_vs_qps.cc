@@ -39,8 +39,7 @@ main()
                 s.seed + static_cast<uint64_t>(f * 100));
             std::printf("  %10.1f %12s %12s %12s\n", qps,
                         bench::fmtMs(r.latency.sojourn.meanNs).c_str(),
-                        bench::fmtMs(static_cast<double>(
-                            r.latency.sojourn.p95Ns)).c_str(),
+                        bench::fmtP95Cell(r, qps).c_str(),
                         bench::fmtMs(static_cast<double>(
                             r.latency.sojourn.p99Ns)).c_str());
         }

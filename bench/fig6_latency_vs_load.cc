@@ -57,8 +57,7 @@ main()
                     *configs[c], *app, f * sat[c], 1, budget,
                     s.seed + static_cast<uint64_t>(f * 1000));
                 std::printf(" %12s",
-                            bench::fmtMs(static_cast<double>(
-                                r.latency.sojourn.p95Ns)).c_str());
+                            bench::fmtP95Cell(r, f * sat[c]).c_str());
             }
             std::printf("\n");
         }

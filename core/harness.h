@@ -16,6 +16,12 @@
  * involved, which is what makes the measurement free of coordinated
  * omission: a slow server cannot throttle the arrival process or hide
  * the waiting it causes.
+ *
+ * A Harness is a thin composition of the three API pieces underneath
+ * it: a LoadClient (core/client.h — schedule, timestamps, stats), a
+ * Transport (core/transport.h — in-process queues or sockets), and a
+ * ServiceLoop (core/service.h — the recvReq/process/sendResp worker
+ * pool). Only the Transport differs between configurations.
  */
 
 #include <cstdint>

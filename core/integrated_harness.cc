@@ -1,10 +1,9 @@
 #include "core/integrated_harness.h"
 
-#include <thread>
-
-#include "util/clock.h"
+#include "core/client.h"
+#include "core/service.h"
+#include "core/transport.h"
 #include "util/logging.h"
-#include "util/rng.h"
 
 namespace tb::core {
 
@@ -14,84 +13,18 @@ IntegratedHarness::run(apps::App& app, const HarnessConfig& cfg)
     const uint64_t total = cfg.warmupRequests + cfg.measuredRequests;
     if (total == 0 || cfg.qps <= 0.0)
         return RunResult{};
-    const unsigned workers = cfg.workerThreads == 0
-        ? 1
-        : cfg.workerThreads;
 
-    RequestQueue queue;
-    std::vector<std::vector<RequestTiming>> per_worker(workers);
+    InProcessTransport transport;
+    ServiceLoop service(transport.serverPort(), app, cfg.workerThreads);
+    service.start();
+    LoadClient client;
+    const RunResult result = client.run(app, cfg, transport);
+    service.join();
 
-    std::vector<std::thread> worker_threads;
-    worker_threads.reserve(workers);
-    for (unsigned w = 0; w < workers; w++) {
-        worker_threads.emplace_back([&, w] {
-            std::vector<RequestTiming>& local = per_worker[w];
-            Request req;
-            while (queue.pop(req)) {
-                const int64_t start = util::monotonicNs();
-                app.process(req.payload);
-                const int64_t end = util::monotonicNs();
-                if (req.id >= cfg.warmupRequests) {
-                    RequestTiming t;
-                    t.genNs = req.genNs;
-                    t.startNs = start;
-                    t.endNs = end;
-                    local.push_back(t);
-                }
-            }
-        });
-    }
-
-    // Open-loop generator (this thread): exponential interarrival gaps
-    // laid out as an absolute schedule from the start time. genNs is
-    // the *scheduled* arrival; sleepUntilNs returns immediately if the
-    // generator has fallen behind, so the schedule never stretches to
-    // accommodate a slow server.
-    //
-    // genRequest() runs on this critical path, so a slow generator can
-    // fall behind its own schedule — shrinking the offered load below
-    // nominal without any visible failure. Track the worst lag
-    // (actual push vs. scheduled arrival) so runs where the generator
-    // could not keep up are detectable instead of silently optimistic.
-    int64_t max_lag_ns = 0;
-    const double gap_mean_ns = 1e9 / cfg.qps;
-    {
-        util::Rng rng(cfg.seed);
-        double next = static_cast<double>(util::monotonicNs()) + 1000.0;
-        for (uint64_t i = 0; i < total; i++) {
-            next += rng.nextExponential(gap_mean_ns);
-            const int64_t scheduled = static_cast<int64_t>(next);
-            Request req;
-            req.id = i;
-            req.payload = app.genRequest(rng);
-            req.genNs = scheduled;
-            util::sleepUntilNs(scheduled);
-            const int64_t lag = util::monotonicNs() - scheduled;
-            if (lag > max_lag_ns)
-                max_lag_ns = lag;
-            queue.push(std::move(req));
-        }
-    }
-    queue.close();
-    if (static_cast<double>(max_lag_ns) > gap_mean_ns)
-        TB_LOG_WARN("open-loop generator fell %.1f us behind its "
-                    "schedule (mean interarrival gap %.1f us): offered "
-                    "load was below the nominal %.0f qps",
-                    static_cast<double>(max_lag_ns) / 1e3,
-                    gap_mean_ns / 1e3, cfg.qps);
-    for (std::thread& t : worker_threads)
-        t.join();
-
-    std::vector<RequestTiming> all;
-    all.reserve(cfg.measuredRequests);
-    for (std::vector<RequestTiming>& v : per_worker)
-        all.insert(all.end(), v.begin(), v.end());
-    RunResult result = buildRunResult(std::move(all), cfg.keepSamples);
-    result.maxGenLagNs = max_lag_ns;
     TB_LOG_DEBUG("integrated run: app=%s offered=%.0f qps achieved=%.0f "
                  "qps threads=%u measured=%llu p95=%.3f ms",
                  app.name().c_str(), cfg.qps, result.achievedQps,
-                 workers,
+                 cfg.workerThreads == 0 ? 1 : cfg.workerThreads,
                  static_cast<unsigned long long>(
                      result.latency.sojourn.count),
                  static_cast<double>(result.latency.sojourn.p95Ns) /

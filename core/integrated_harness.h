@@ -4,21 +4,22 @@
 /**
  * @file
  * The integrated configuration: load generator and application in one
- * process, requests handed over through an in-memory queue. Lowest
- * overhead of the real-time configurations — the paper uses it for
- * profiling and as the reference the networked/loopback setups are
- * validated against.
+ * process, requests handed over through the in-process transport.
+ * Lowest overhead of the real-time configurations — the paper uses it
+ * for profiling and as the reference the networked/loopback setups
+ * are validated against.
  *
- * One generator thread produces the open-loop Poisson arrival
- * schedule, stamping each request with its *scheduled* arrival time
- * (coordinated-omission-free by construction: the stamp is taken
- * before the queue, and a tardy generator or a backed-up queue shows
- * up as sojourn time, never as missing load). N worker threads pop,
- * stamp service start, run App::process(), stamp completion.
+ * This harness is nothing but the canonical composition of the three
+ * API pieces:
+ *
+ *   LoadClient  --- InProcessTransport ---  ServiceLoop
+ *   (schedule, timestamps, stats)           (recvReq -> process -> sendResp)
+ *
+ * The loopback and networked harnesses (net/) are the same
+ * composition with a socket-backed transport substituted.
  */
 
 #include "core/harness.h"
-#include "core/request_queue.h"
 
 namespace tb::core {
 

@@ -3,8 +3,9 @@
 
 /**
  * @file
- * The unbounded MPMC request queue between the load generator and the
- * worker threads.
+ * The unbounded MPMC blocking queue the in-process transport is built
+ * from: requests flow client -> service, responses flow service ->
+ * client, both over the same primitive.
  *
  * Unbounded on purpose: a bounded queue would push back on the
  * generator and reintroduce the closed-loop coordination the open-loop
@@ -21,39 +22,62 @@
 namespace tb::core {
 
 /** One in-flight request. genNs is the scheduled generation time —
- * assigned by the open-loop generator before the push, never after. */
+ * assigned by the open-loop generator before the send, never after. */
 struct Request {
     uint64_t id = 0;
     std::string payload;
     int64_t genNs = 0;
+    /**
+     * Transport-private routing context, echoed verbatim into the
+     * response by the service loop. Clients never set or read it; a
+     * server-side transport uses it to route the response back to the
+     * connection the request arrived on (ids alone cannot — separate
+     * clients of one server generate overlapping ids). 0 for
+     * transports with nothing to route (in-process).
+     */
+    uint64_t ctx = 0;
 };
 
-class RequestQueue {
+template <typename T>
+class BlockingQueue {
   public:
-    RequestQueue() = default;
-    RequestQueue(const RequestQueue&) = delete;
-    RequestQueue& operator=(const RequestQueue&) = delete;
+    BlockingQueue() = default;
+    BlockingQueue(const BlockingQueue&) = delete;
+    BlockingQueue& operator=(const BlockingQueue&) = delete;
 
     /** Never blocks (unbounded). */
     void
-    push(Request&& req)
+    push(T&& item)
     {
         {
             std::lock_guard<std::mutex> lock(mu_);
-            queue_.push_back(std::move(req));
+            queue_.push_back(std::move(item));
         }
         cv_.notify_one();
     }
 
     /**
-     * Blocks until a request is available or the queue is closed.
-     * Returns false only when closed AND drained — workers exit then.
+     * Blocks until an item is available or the queue is closed.
+     * Returns false only when closed AND drained — consumers exit then.
      */
     bool
-    pop(Request& out)
+    pop(T& out)
     {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+        if (queue_.empty())
+            return false;
+        out = std::move(queue_.front());
+        queue_.pop_front();
+        return true;
+    }
+
+    /** Non-blocking pop: false when the queue is currently empty
+     * (says nothing about closed state). */
+    bool
+    tryPop(T& out)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
         if (queue_.empty())
             return false;
         out = std::move(queue_.front());
@@ -82,9 +106,13 @@ class RequestQueue {
   private:
     mutable std::mutex mu_;
     std::condition_variable cv_;
-    std::deque<Request> queue_;
+    std::deque<T> queue_;
     bool closed_ = false;
 };
+
+/** The generator -> worker request channel of the in-process
+ * transport (and the server-side dispatch queue of the TCP server). */
+using RequestQueue = BlockingQueue<Request>;
 
 }  // namespace tb::core
 

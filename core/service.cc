@@ -1,0 +1,58 @@
+#include "core/service.h"
+
+#include "util/clock.h"
+
+namespace tb::core {
+
+ServiceLoop::ServiceLoop(ServerPort& port, apps::App& app,
+                         unsigned workers)
+    : port_(port), app_(app), workers_(workers == 0 ? 1 : workers)
+{
+}
+
+ServiceLoop::~ServiceLoop()
+{
+    join();
+}
+
+void
+ServiceLoop::start()
+{
+    active_ = workers_;
+    threads_.reserve(workers_);
+    for (unsigned w = 0; w < workers_; w++)
+        threads_.emplace_back([this] { workerBody(); });
+}
+
+void
+ServiceLoop::join()
+{
+    for (std::thread& t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+    threads_.clear();
+}
+
+void
+ServiceLoop::workerBody()
+{
+    Request req;
+    while (port_.recvReq(req)) {
+        const int64_t start = util::monotonicNs();
+        const uint64_t checksum = app_.process(req.payload);
+        const int64_t end = util::monotonicNs();
+        Response resp;
+        resp.id = req.id;
+        resp.checksum = checksum;
+        resp.timing.genNs = req.genNs;
+        resp.timing.startNs = start;
+        resp.timing.endNs = end;
+        resp.ctx = req.ctx;
+        port_.sendResp(std::move(resp));
+    }
+    if (active_.fetch_sub(1) == 1)
+        port_.closeResponses();
+}
+
+}  // namespace tb::core

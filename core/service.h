@@ -1,0 +1,60 @@
+#ifndef TAILBENCH_CORE_SERVICE_H_
+#define TAILBENCH_CORE_SERVICE_H_
+
+/**
+ * @file
+ * The server-side request loop shared by every real-time
+ * configuration: N worker threads, each running
+ *
+ *   while (port.recvReq(req)):
+ *       start = now; checksum = app.process(req); end = now
+ *       port.sendResp({id, checksum, {genNs, start, end}})
+ *
+ * The loop owns the service-side timestamps (startNs / endNs around
+ * App::process, one monotonic clock) and nothing else — warmup
+ * filtering and statistics belong to the client, which is what lets
+ * the same loop serve the in-process queue and a TCP socket
+ * unchanged.
+ */
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "apps/common/app.h"
+#include "core/transport.h"
+
+namespace tb::core {
+
+class ServiceLoop {
+  public:
+    /** Does not start any thread; call start(). @p port and @p app
+     * must outlive the loop. */
+    ServiceLoop(ServerPort& port, apps::App& app, unsigned workers);
+    ~ServiceLoop();
+
+    ServiceLoop(const ServiceLoop&) = delete;
+    ServiceLoop& operator=(const ServiceLoop&) = delete;
+
+    /** Spawns the worker threads. */
+    void start();
+
+    /** Joins all workers. Workers exit when recvReq returns false; the
+     * last one out calls port.closeResponses(), so by construction the
+     * client's response stream ends only after every response was
+     * sent. */
+    void join();
+
+  private:
+    void workerBody();
+
+    ServerPort& port_;
+    apps::App& app_;
+    const unsigned workers_;
+    std::atomic<unsigned> active_{0};
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace tb::core
+
+#endif  // TAILBENCH_CORE_SERVICE_H_

@@ -1,0 +1,46 @@
+#include "core/transport.h"
+
+namespace tb::core {
+
+Transport::~Transport() = default;
+ServerPort::~ServerPort() = default;
+
+InProcessTransport::InProcessTransport() : port_(*this) {}
+
+void
+InProcessTransport::sendRequest(Request&& req)
+{
+    requests_.push(std::move(req));
+}
+
+bool
+InProcessTransport::recvResponse(Response& out)
+{
+    return responses_.pop(out);
+}
+
+void
+InProcessTransport::finishSend()
+{
+    requests_.close();
+}
+
+bool
+InProcessTransport::Port::recvReq(Request& out)
+{
+    return owner_.requests_.pop(out);
+}
+
+void
+InProcessTransport::Port::sendResp(Response&& resp)
+{
+    owner_.responses_.push(std::move(resp));
+}
+
+void
+InProcessTransport::Port::closeResponses()
+{
+    owner_.responses_.close();
+}
+
+}  // namespace tb::core

@@ -1,0 +1,588 @@
+#include "net/server_harness.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "net/wire.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace tb::net {
+
+namespace {
+
+/** Connection-reader pool size. Persistent connections occupy a
+ * reader for their whole lifetime, one-shot connections only while
+ * their single frame is read; four readers keep an external server
+ * responsive with a couple of persistent clients attached. */
+constexpr unsigned kConnReaders = 4;
+
+constexpr int kListenBacklog = 1024;
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/** RST on close: skips TIME_WAIT, which would otherwise pin one
+ * ephemeral port per request for 60s under the per-request-connection
+ * transport. */
+void
+setLingerRst(int fd)
+{
+    struct linger lg;
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+}
+
+}  // namespace
+
+uint16_t
+parsePort(const char* s, const char* what)
+{
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 1 || v > 65535) {
+        TB_LOG_WARN("%s: invalid port \"%s\" ignored (want 1..65535)",
+                    what, s);
+        return 0;
+    }
+    return static_cast<uint16_t>(v);
+}
+
+int
+connectTcp(const std::string& host, uint16_t port)
+{
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    const std::string port_str = std::to_string(port);
+    if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0)
+        return -1;
+    int fd = -1;
+    for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd >= 0)
+        setNoDelay(fd);
+    return fd;
+}
+
+// ------------------------------------------------------------ TcpServer
+
+/**
+ * One accepted connection. `outstanding` counts requests registered
+ * by the reader but not yet responded to; the connection is closed by
+ * whoever makes (eof && outstanding == 0) true — the reader for an
+ * idle end-of-stream, the last responding worker otherwise.
+ */
+struct TcpServer::Conn {
+    Conn(int fd_in, uint64_t serial_in) : fd(fd_in), serial(serial_in)
+    {
+    }
+    ~Conn()
+    {
+        if (!closed && fd >= 0)
+            ::close(fd);
+    }
+
+    int fd;
+    /** Routing key (Request::ctx): unique per accepted connection, so
+     * responses find their way home even when separate clients
+     * generate overlapping request ids. */
+    const uint64_t serial;
+    std::mutex mu;  // serializes response writes and state changes
+    uint64_t outstanding = 0;
+    bool eof = false;
+    bool closed = false;
+};
+
+class TcpServer::Port final : public core::ServerPort {
+  public:
+    explicit Port(TcpServer& server) : server_(server) {}
+
+    bool
+    recvReq(core::Request& out) override
+    {
+        return queue_.pop(out);
+    }
+
+    void
+    sendResp(core::Response&& resp) override
+    {
+        server_.sendResponse(resp);
+    }
+
+    /** The per-connection teardown (FIN after the last response) is
+     * what ends the client's stream; nothing further to close. */
+    void closeResponses() override {}
+
+    core::RequestQueue queue_;
+    std::mutex map_mu_;
+    /** Conn::serial -> connection; inserted at accept, erased at
+     * connection close. */
+    std::unordered_map<uint64_t, std::shared_ptr<Conn>> routes_;
+
+  private:
+    TcpServer& server_;
+};
+
+TcpServer::TcpServer(apps::App& app, unsigned workers, uint16_t port,
+                     bool loopbackOnly)
+    : port_obj_(new Port(*this)),
+      service_(new core::ServiceLoop(*port_obj_, app, workers))
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        return;
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr =
+        htonl(loopbackOnly ? INADDR_LOOPBACK : INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, kListenBacklog) != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_,
+                      reinterpret_cast<struct sockaddr*>(&addr),
+                      &len) == 0)
+        port_ = ntohs(addr.sin_port);
+}
+
+TcpServer::~TcpServer()
+{
+    stop();
+    if (listen_fd_ >= 0)
+        ::close(listen_fd_);
+}
+
+void
+TcpServer::start()
+{
+    if (started_ || listen_fd_ < 0)
+        return;
+    started_ = true;
+    service_->start();
+    for (unsigned r = 0; r < kConnReaders; r++)
+        reader_threads_.emplace_back([this] { readerLoop(); });
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+TcpServer::stop()
+{
+    if (!started_)
+        return;
+    started_ = false;
+
+    // Wake accept(), then the readers, then the workers — strictly
+    // downstream order, so every queued request still drains.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    accept_thread_.join();
+    pending_.close();
+    {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        for (const std::shared_ptr<Conn>& conn : conns_) {
+            std::lock_guard<std::mutex> cl(conn->mu);
+            if (!conn->closed)
+                ::shutdown(conn->fd, SHUT_RD);
+        }
+    }
+    for (std::thread& t : reader_threads_)
+        t.join();
+    reader_threads_.clear();
+    port_obj_->queue_.close();
+    service_->join();
+    {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns_.clear();  // Conn dtor closes any leftover fd
+    }
+    {
+        std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
+        port_obj_->routes_.clear();
+    }
+}
+
+void
+TcpServer::acceptLoop()
+{
+    bool warned_fd_limit = false;
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            // Transient per-connection failures must not kill the
+            // accept loop: an RST-ed pending connection
+            // (ECONNABORTED) is routine with the per-request
+            // transport's SO_LINGER-0 closes, and fd exhaustion
+            // (EMFILE/ENFILE) is expected under deliberate-overload
+            // probes — back off briefly and keep serving.
+            if (errno == EINTR || errno == ECONNABORTED ||
+                errno == EPROTO)
+                continue;
+            if (errno == EMFILE || errno == ENFILE) {
+                if (!warned_fd_limit) {
+                    TB_LOG_WARN("tcp server: out of file "
+                                "descriptors; throttling accepts");
+                    warned_fd_limit = true;
+                }
+                ::usleep(1000);
+                continue;
+            }
+            return;  // listener shut down
+        }
+        setNoDelay(fd);
+        auto conn = std::make_shared<Conn>(fd, next_serial_++);
+        {
+            std::lock_guard<std::mutex> lock(conns_mu_);
+            conns_.insert(conn);
+        }
+        {
+            std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
+            port_obj_->routes_[conn->serial] = conn;
+        }
+        pending_.push(std::move(conn));
+    }
+}
+
+void
+TcpServer::readerLoop()
+{
+    std::shared_ptr<Conn> conn;
+    while (pending_.pop(conn)) {
+        readConnection(conn);
+        conn.reset();
+    }
+}
+
+void
+TcpServer::readConnection(const std::shared_ptr<Conn>& conn)
+{
+    FdStream stream(conn->fd);
+    core::Request req;
+    for (;;) {
+        const WireResult res = recvRequestFrame(stream, req);
+        if (res == WireResult::kOk) {
+            req.ctx = conn->serial;
+            {
+                std::lock_guard<std::mutex> lock(conn->mu);
+                conn->outstanding++;
+            }
+            port_obj_->queue_.push(std::move(req));
+            continue;
+        }
+        if (res == WireResult::kBadFrame)
+            TB_LOG_WARN("tcp server: dropping connection after a "
+                        "malformed frame");
+        break;
+    }
+    bool close_now;
+    {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->eof = true;
+        close_now = conn->outstanding == 0 && !conn->closed;
+    }
+    if (close_now)
+        closeConn(conn);
+}
+
+void
+TcpServer::sendResponse(const core::Response& resp)
+{
+    std::shared_ptr<Conn> conn;
+    {
+        std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
+        const auto it = port_obj_->routes_.find(resp.ctx);
+        if (it != port_obj_->routes_.end())
+            conn = it->second;
+    }
+    if (!conn) {
+        TB_LOG_DEBUG("tcp server: response %llu has no connection",
+                     static_cast<unsigned long long>(resp.id));
+        return;
+    }
+    bool close_now = false;
+    {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->closed) {
+            FdStream stream(conn->fd);
+            if (!sendResponseFrame(stream, resp))
+                TB_LOG_DEBUG("tcp server: response write failed "
+                             "(peer gone?)");
+        }
+        conn->outstanding--;
+        close_now = conn->eof && conn->outstanding == 0 &&
+            !conn->closed;
+    }
+    if (close_now)
+        closeConn(conn);
+}
+
+void
+TcpServer::closeConn(const std::shared_ptr<Conn>& conn)
+{
+    {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->closed)
+            return;
+        conn->closed = true;
+        // Orderly release: FIN after the last response is what the
+        // client's recvResponse observes as end-of-stream.
+        ::shutdown(conn->fd, SHUT_WR);
+        ::close(conn->fd);
+    }
+    {
+        std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
+        port_obj_->routes_.erase(conn->serial);
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(conn);
+}
+
+// -------------------------------------------------- TcpClientTransport
+
+TcpClientTransport::TcpClientTransport(const std::string& host,
+                                       uint16_t port)
+    : fd_(connectTcp(host, port))
+{
+    if (fd_ < 0)
+        TB_LOG_ERROR("loopback transport: connect to %s:%u failed",
+                     host.c_str(), static_cast<unsigned>(port));
+}
+
+TcpClientTransport::~TcpClientTransport()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+TcpClientTransport::sendRequest(core::Request&& req)
+{
+    if (fd_ < 0)
+        return;
+    FdStream stream(fd_);
+    if (!sendRequestFrame(stream, req))
+        TB_LOG_WARN("loopback transport: request write failed");
+}
+
+bool
+TcpClientTransport::recvResponse(core::Response& out)
+{
+    if (fd_ < 0)
+        return false;
+    FdStream stream(fd_);
+    const WireResult res = recvResponseFrame(stream, out);
+    if (res != WireResult::kOk) {
+        if (res == WireResult::kBadFrame)
+            TB_LOG_WARN("loopback transport: malformed response "
+                        "frame");
+        return false;
+    }
+    // The response-path wire cost belongs to sojourn: completion is
+    // when the *client* has the response, not when the server wrote
+    // it.
+    out.timing.endNs = util::monotonicNs();
+    return true;
+}
+
+void
+TcpClientTransport::finishSend()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+// ----------------------------------------------- PerRequestTcpTransport
+
+PerRequestTcpTransport::PerRequestTcpTransport(const std::string& host,
+                                               uint16_t port)
+    : host_(host), port_(port)
+{
+}
+
+void
+PerRequestTcpTransport::sendRequest(core::Request&& req)
+{
+    int fd = connectTcp(host_, port_);
+    if (fd < 0) {
+        TB_LOG_WARN("networked transport: connect to %s:%u failed; "
+                    "request %llu dropped",
+                    host_.c_str(), static_cast<unsigned>(port_),
+                    static_cast<unsigned long long>(req.id));
+        return;
+    }
+    FdStream stream(fd);
+    if (!sendRequestFrame(stream, req)) {
+        TB_LOG_WARN("networked transport: request write failed");
+        ::close(fd);
+        return;
+    }
+    // One frame per connection: FIN right behind it lets the server's
+    // reader finish with this connection without waiting for teardown.
+    ::shutdown(fd, SHUT_WR);
+    inflight_.push(std::move(fd));
+}
+
+bool
+PerRequestTcpTransport::recvResponse(core::Response& out)
+{
+    for (;;) {
+        // Merge newly sent sockets into the poll set; when nothing is
+        // outstanding, block for the next send (or end of stream).
+        int fd = -1;
+        while (inflight_.tryPop(fd))
+            pending_.push_back(fd);
+        if (pending_.empty()) {
+            if (!inflight_.pop(fd))
+                return false;
+            pending_.push_back(fd);
+            continue;  // re-merge: more may have queued meanwhile
+        }
+
+        std::vector<struct pollfd> pfds(pending_.size());
+        for (size_t k = 0; k < pending_.size(); k++) {
+            pfds[k].fd = pending_[k];
+            pfds[k].events = POLLIN;
+            pfds[k].revents = 0;
+        }
+        // Short timeout so sockets sent while we were polling join
+        // the set promptly.
+        const int n = ::poll(pfds.data(),
+                             static_cast<nfds_t>(pfds.size()), 1);
+        if (n <= 0)
+            continue;
+        for (size_t k = 0; k < pfds.size(); k++) {
+            if (!(pfds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            fd = pending_[k];
+            pending_.erase(pending_.begin() +
+                           static_cast<long>(k));
+            FdStream stream(fd);
+            const WireResult res = recvResponseFrame(stream, out);
+            out.timing.endNs = util::monotonicNs();
+            setLingerRst(fd);
+            ::close(fd);
+            if (res == WireResult::kOk)
+                return true;
+            TB_LOG_WARN("networked transport: response missing "
+                        "(server closed early?)");
+            break;  // indices shifted; rebuild the poll set
+        }
+    }
+}
+
+void
+PerRequestTcpTransport::finishSend()
+{
+    inflight_.close();
+}
+
+// ------------------------------------------------------------ harnesses
+
+core::RunResult
+LoopbackHarness::run(apps::App& app, const core::HarnessConfig& cfg)
+{
+    if (cfg.warmupRequests + cfg.measuredRequests == 0 ||
+        cfg.qps <= 0.0)
+        return core::RunResult{};
+
+    TcpServer server(app, cfg.workerThreads);
+    if (!server.listening()) {
+        TB_LOG_ERROR("loopback harness: could not listen on "
+                     "127.0.0.1");
+        return core::RunResult{};
+    }
+    server.start();
+    TcpClientTransport transport("127.0.0.1", server.port());
+    if (!transport.connected()) {
+        server.stop();
+        return core::RunResult{};
+    }
+    core::LoadClient client;
+    const core::RunResult result = client.run(app, cfg, transport);
+    server.stop();
+    TB_LOG_DEBUG("loopback run: app=%s offered=%.0f achieved=%.0f qps "
+                 "p95=%.3f ms",
+                 app.name().c_str(), cfg.qps, result.achievedQps,
+                 static_cast<double>(result.latency.sojourn.p95Ns) /
+                     1e6);
+    return result;
+}
+
+NetworkedHarness::NetworkedHarness() : host_("127.0.0.1")
+{
+    if (const char* h = std::getenv("TAILBENCH_NET_HOST"))
+        host_ = h;
+    if (const char* p = std::getenv("TAILBENCH_NET_PORT"))
+        port_ = parsePort(p, "TAILBENCH_NET_PORT");
+}
+
+core::RunResult
+NetworkedHarness::run(apps::App& app, const core::HarnessConfig& cfg)
+{
+    if (cfg.warmupRequests + cfg.measuredRequests == 0 ||
+        cfg.qps <= 0.0)
+        return core::RunResult{};
+
+    // With no external server configured, serve from this process on
+    // an ephemeral port — still real sockets, still per-request
+    // connections; an external tb_net_server (possibly on another
+    // host) takes its place when TAILBENCH_NET_PORT is set.
+    std::unique_ptr<TcpServer> server;
+    std::string host = host_;
+    uint16_t port = port_;
+    if (port == 0) {
+        server.reset(new TcpServer(app, cfg.workerThreads));
+        if (!server->listening()) {
+            TB_LOG_ERROR("networked harness: could not listen on "
+                         "127.0.0.1");
+            return core::RunResult{};
+        }
+        server->start();
+        host = "127.0.0.1";
+        port = server->port();
+    }
+    PerRequestTcpTransport transport(host, port);
+    core::LoadClient client;
+    const core::RunResult result = client.run(app, cfg, transport);
+    if (server)
+        server->stop();
+    TB_LOG_DEBUG("networked run: app=%s offered=%.0f achieved=%.0f "
+                 "qps p95=%.3f ms",
+                 app.name().c_str(), cfg.qps, result.achievedQps,
+                 static_cast<double>(result.latency.sojourn.p95Ns) /
+                     1e6);
+    return result;
+}
+
+}  // namespace tb::net

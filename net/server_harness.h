@@ -1,0 +1,188 @@
+#ifndef TAILBENCH_NET_SERVER_HARNESS_H_
+#define TAILBENCH_NET_SERVER_HARNESS_H_
+
+/**
+ * @file
+ * The networked configurations (paper Sec. III-B): the same
+ * LoadClient + ServiceLoop composition as the integrated harness,
+ * with the in-process queue transport swapped for real TCP sockets.
+ *
+ *   LoopbackHarness   one persistent connection over 127.0.0.1; every
+ *                     request pays kernel socket + framing costs but
+ *                     connection setup is amortized over the run.
+ *   NetworkedHarness  one connection *per request* (client-side RST
+ *                     close, so ephemeral ports are not exhausted):
+ *                     each request additionally pays connect/accept
+ *                     and teardown, the per-request cost that makes
+ *                     the short-request apps (silo, specjbb) saturate
+ *                     visibly earlier than integrated (paper Fig. 5).
+ *                     TAILBENCH_NET_HOST / TAILBENCH_NET_PORT point it
+ *                     at an external tb_net_server; unset, it spawns
+ *                     an in-process server on an ephemeral port.
+ *
+ * Timestamp ownership is unchanged: genNs from the client generator,
+ * startNs/endNs from the service loop — but both socket transports
+ * restamp endNs at client-side receipt, so the response path's wire
+ * cost lands in sojourn. Client and server must share a clock (same
+ * host) for the queueing/service decomposition to be meaningful;
+ * sojourn is client-clock-only and valid either way.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/client.h"
+#include "core/harness.h"
+#include "core/service.h"
+#include "core/transport.h"
+
+namespace tb::net {
+
+/**
+ * TCP server running the shared core::ServiceLoop over framed
+ * requests (net/wire.h). Accepts any number of connections; each may
+ * carry one frame (NetworkedHarness) or a whole run's worth
+ * (LoopbackHarness). A connection is closed by whichever side
+ * finishes last: after the client's EOF, the last response written to
+ * it triggers shutdown+close, which is what ends the client's
+ * response stream.
+ */
+class TcpServer {
+  public:
+    /**
+     * Binds and listens synchronously (port 0 = ephemeral, see
+     * port()); start() spawns the accept loop, the connection readers
+     * and the service workers. The harness-internal per-run servers
+     * bind 127.0.0.1 only; pass loopbackOnly = false (tb_net_server)
+     * to accept remote clients.
+     */
+    TcpServer(apps::App& app, unsigned workers, uint16_t port = 0,
+              bool loopbackOnly = true);
+    ~TcpServer();
+
+    TcpServer(const TcpServer&) = delete;
+    TcpServer& operator=(const TcpServer&) = delete;
+
+    bool listening() const { return listen_fd_ >= 0; }
+    uint16_t port() const { return port_; }
+
+    void start();
+    /** Stops accepting, drains the request backlog, joins every
+     * thread. Idempotent. */
+    void stop();
+
+  private:
+    struct Conn;
+    class Port;
+
+    void acceptLoop();
+    void readerLoop();
+    void readConnection(const std::shared_ptr<Conn>& conn);
+    void sendResponse(const core::Response& resp);
+    void closeConn(const std::shared_ptr<Conn>& conn);
+
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+    bool started_ = false;
+    std::atomic<uint64_t> next_serial_{1};
+
+    std::unique_ptr<Port> port_obj_;
+    std::unique_ptr<core::ServiceLoop> service_;
+    std::thread accept_thread_;
+    std::vector<std::thread> reader_threads_;
+
+    /** Accepted connections awaiting a reader. */
+    core::BlockingQueue<std::shared_ptr<Conn>> pending_;
+
+    std::mutex conns_mu_;
+    std::set<std::shared_ptr<Conn>> conns_;
+};
+
+/** Client transport over one persistent connection (LoopbackHarness).
+ * sendRequest writes a frame; recvResponse reads one and restamps
+ * endNs at receipt; finishSend sends FIN via shutdown(SHUT_WR). */
+class TcpClientTransport final : public core::Transport {
+  public:
+    TcpClientTransport(const std::string& host, uint16_t port);
+    ~TcpClientTransport() override;
+
+    bool connected() const { return fd_ >= 0; }
+
+    void sendRequest(core::Request&& req) override;
+    bool recvResponse(core::Response& out) override;
+    void finishSend() override;
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Client transport paying full per-request connection costs
+ * (NetworkedHarness): sendRequest opens a fresh connection, writes
+ * the frame and FIN, and queues the socket; recvResponse polls the
+ * outstanding sockets and reads whichever response is ready first —
+ * restamping endNs at readiness, so one slow request cannot inflate
+ * the measured sojourn of responses that completed behind it — then
+ * RST-closes (SO_LINGER 0) so runs of tens of thousands of requests
+ * do not exhaust ephemeral ports in TIME_WAIT.
+ */
+class PerRequestTcpTransport final : public core::Transport {
+  public:
+    PerRequestTcpTransport(const std::string& host, uint16_t port);
+
+    void sendRequest(core::Request&& req) override;
+    bool recvResponse(core::Response& out) override;
+    void finishSend() override;
+
+  private:
+    std::string host_;
+    uint16_t port_;
+    core::BlockingQueue<int> inflight_;
+    /** Sockets moved out of inflight_ and awaiting a readable
+     * response; collector-thread-only, no lock. */
+    std::vector<int> pending_;
+};
+
+class LoopbackHarness final : public core::Harness {
+  public:
+    core::RunResult run(apps::App& app,
+                        const core::HarnessConfig& cfg) override;
+
+    std::string configName() const override { return "loopback"; }
+};
+
+class NetworkedHarness final : public core::Harness {
+  public:
+    /** Reads TAILBENCH_NET_HOST / TAILBENCH_NET_PORT once. */
+    NetworkedHarness();
+
+    core::RunResult run(apps::App& app,
+                        const core::HarnessConfig& cfg) override;
+
+    std::string configName() const override { return "networked"; }
+
+  private:
+    std::string host_;
+    uint16_t port_ = 0;  // 0 = spawn an in-process server per run
+};
+
+/** Connects a TCP socket (TCP_NODELAY) to host:port; -1 on failure.
+ * Exposed for the transports and tests. */
+int connectTcp(const std::string& host, uint16_t port);
+
+/** Strict port parse: returns the port for "1".."65535", else 0 with
+ * a warning naming @p what — a silently truncated or zeroed port
+ * would flip the harness into a different mode than the operator
+ * asked for. */
+uint16_t parsePort(const char* s, const char* what);
+
+}  // namespace tb::net
+
+#endif  // TAILBENCH_NET_SERVER_HARNESS_H_

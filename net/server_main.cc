@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Standalone TailBench server: the shared service loop behind a TCP
+ * port, for driving the networked configuration from another process
+ * or another machine (point the client at it with TAILBENCH_NET_HOST
+ * / TAILBENCH_NET_PORT).
+ *
+ *   tb_net_server <app> [threads=1] [port=9960]
+ *
+ * Dataset scale and seed come from TAILBENCH_SIZE / TAILBENCH_SEED —
+ * they must match the client's settings or the request payloads will
+ * not resolve against the server's dataset.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/server_harness.h"
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <app> [threads=1] [port=9960]\n",
+                     argv[0]);
+        return 2;
+    }
+    const std::string app_name = argv[1];
+    const unsigned threads = argc > 2
+        ? static_cast<unsigned>(std::atoi(argv[2]))
+        : 1;
+    uint16_t port = 9960;
+    if (argc > 3) {
+        port = tb::net::parsePort(argv[3], "tb_net_server port");
+        if (port == 0)
+            return 2;
+    }
+
+    tb::apps::AppConfig cfg;
+    if (const char* sz = std::getenv("TAILBENCH_SIZE"))
+        cfg.sizeFactor = std::atof(sz);
+    if (const char* sd = std::getenv("TAILBENCH_SEED"))
+        cfg.seed = static_cast<uint64_t>(std::atoll(sd));
+
+    auto app = tb::apps::makeApp(app_name);
+    app->init(cfg);
+
+    // Unlike the harness-internal per-run servers, the standalone
+    // server exists to be reached from other hosts.
+    tb::net::TcpServer server(*app, threads, port,
+                              /*loopbackOnly=*/false);
+    if (!server.listening()) {
+        std::fprintf(stderr, "tb_net_server: cannot listen on port %u\n",
+                     static_cast<unsigned>(port));
+        return 1;
+    }
+    server.start();
+    std::printf("tb_net_server: app=%s threads=%u port=%u "
+                "(sizeFactor=%.3g seed=%llu)\n",
+                app_name.c_str(), threads,
+                static_cast<unsigned>(server.port()), cfg.sizeFactor,
+                static_cast<unsigned long long>(cfg.seed));
+    std::fflush(stdout);
+    for (;;)
+        ::pause();
+}

@@ -1,0 +1,184 @@
+#include "net/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tb::net {
+
+namespace {
+
+constexpr size_t kReqHeaderBytes = 4 + 4 + 8 + 8;
+constexpr size_t kRespHeaderBytes = 4 + 4 + 8 + 8 + 8 + 8 + 8;
+
+void
+put32(uint8_t* p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void
+put64(uint8_t* p, uint64_t v)
+{
+    put32(p, static_cast<uint32_t>(v));
+    put32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t
+get32(const uint8_t* p)
+{
+    return static_cast<uint32_t>(p[0]) |
+        static_cast<uint32_t>(p[1]) << 8 |
+        static_cast<uint32_t>(p[2]) << 16 |
+        static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t
+get64(const uint8_t* p)
+{
+    return static_cast<uint64_t>(get32(p)) |
+        static_cast<uint64_t>(get32(p + 4)) << 32;
+}
+
+/**
+ * Reads exactly @p len bytes, distinguishing clean EOF (no bytes at
+ * all — a peer that closed at a frame boundary) from a mid-read
+ * truncation. The one short-read loop everything else wraps.
+ */
+WireResult
+readExact(ByteStream& s, uint8_t* buf, size_t len)
+{
+    size_t got = 0;
+    while (got < len) {
+        const ssize_t n = s.readSome(buf + got, len - got);
+        if (n < 0)
+            return WireResult::kBadFrame;  // error is never a clean EOF
+        if (n == 0)
+            return got == 0 ? WireResult::kEof : WireResult::kBadFrame;
+        got += static_cast<size_t>(n);
+    }
+    return WireResult::kOk;
+}
+
+}  // namespace
+
+ByteStream::~ByteStream() = default;
+
+bool
+readFull(ByteStream& s, void* buf, size_t len)
+{
+    return readExact(s, static_cast<uint8_t*>(buf), len) ==
+        WireResult::kOk;
+}
+
+bool
+writeFull(ByteStream& s, const void* buf, size_t len)
+{
+    const uint8_t* p = static_cast<const uint8_t*>(buf);
+    size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n = s.writeSome(p + sent, len - sent);
+        if (n <= 0)
+            return false;
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+sendRequestFrame(ByteStream& s, const core::Request& req)
+{
+    if (req.payload.size() > kMaxPayloadBytes)
+        return false;
+    uint8_t hdr[kReqHeaderBytes];
+    put32(hdr, kRequestMagic);
+    put32(hdr + 4, static_cast<uint32_t>(req.payload.size()));
+    put64(hdr + 8, req.id);
+    put64(hdr + 16, static_cast<uint64_t>(req.genNs));
+    return writeFull(s, hdr, sizeof(hdr)) &&
+        (req.payload.empty() ||
+         writeFull(s, req.payload.data(), req.payload.size()));
+}
+
+WireResult
+recvRequestFrame(ByteStream& s, core::Request& out)
+{
+    uint8_t hdr[kReqHeaderBytes];
+    const WireResult hr = readExact(s, hdr, sizeof(hdr));
+    if (hr != WireResult::kOk)
+        return hr;
+    if (get32(hdr) != kRequestMagic)
+        return WireResult::kBadFrame;
+    const uint32_t payload_len = get32(hdr + 4);
+    if (payload_len > kMaxPayloadBytes)
+        return WireResult::kBadFrame;
+    out.id = get64(hdr + 8);
+    out.genNs = static_cast<int64_t>(get64(hdr + 16));
+    out.ctx = 0;  // routing context is per-hop, never wire-carried
+    out.payload.resize(payload_len);
+    if (payload_len > 0 && !readFull(s, &out.payload[0], payload_len))
+        return WireResult::kBadFrame;
+    return WireResult::kOk;
+}
+
+bool
+sendResponseFrame(ByteStream& s, const core::Response& resp)
+{
+    uint8_t hdr[kRespHeaderBytes];
+    put32(hdr, kResponseMagic);
+    put32(hdr + 4, 0);
+    put64(hdr + 8, resp.id);
+    put64(hdr + 16, resp.checksum);
+    put64(hdr + 24, static_cast<uint64_t>(resp.timing.genNs));
+    put64(hdr + 32, static_cast<uint64_t>(resp.timing.startNs));
+    put64(hdr + 40, static_cast<uint64_t>(resp.timing.endNs));
+    return writeFull(s, hdr, sizeof(hdr));
+}
+
+WireResult
+recvResponseFrame(ByteStream& s, core::Response& out)
+{
+    uint8_t hdr[kRespHeaderBytes];
+    const WireResult hr = readExact(s, hdr, sizeof(hdr));
+    if (hr != WireResult::kOk)
+        return hr;
+    if (get32(hdr) != kResponseMagic || get32(hdr + 4) != 0)
+        return WireResult::kBadFrame;
+    out.id = get64(hdr + 8);
+    out.checksum = get64(hdr + 16);
+    out.ctx = 0;
+    out.timing.genNs = static_cast<int64_t>(get64(hdr + 24));
+    out.timing.startNs = static_cast<int64_t>(get64(hdr + 32));
+    out.timing.endNs = static_cast<int64_t>(get64(hdr + 40));
+    return WireResult::kOk;
+}
+
+ssize_t
+FdStream::readSome(void* buf, size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::read(fd_, buf, len);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+ssize_t
+FdStream::writeSome(const void* buf, size_t len)
+{
+    for (;;) {
+        // MSG_NOSIGNAL: a peer-closed connection must surface as an
+        // error return the transports can log, not as a SIGPIPE that
+        // kills the whole benchmark process.
+        const ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+}  // namespace tb::net

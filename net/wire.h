@@ -1,0 +1,89 @@
+#ifndef TAILBENCH_NET_WIRE_H_
+#define TAILBENCH_NET_WIRE_H_
+
+/**
+ * @file
+ * Length-prefixed wire format for harness requests and responses.
+ *
+ * Request frame (little-endian):
+ *   u32 magic 'TBRQ'  | u32 payloadLen | u64 id | i64 genNs
+ *   | payloadLen bytes
+ * Response frame:
+ *   u32 magic 'TBRP'  | u32 zero       | u64 id | u64 checksum
+ *   | i64 genNs | i64 startNs | i64 endNs
+ *
+ * Framing is defined over an abstract ByteStream rather than a file
+ * descriptor so the codec is testable against partial reads and short
+ * writes without sockets (tests/test_net.cc drives it through a
+ * deliberately fragmenting stream). FdStream adapts a connected
+ * socket.
+ *
+ * Receivers reject frames with a bad magic or a payload length above
+ * kMaxPayloadBytes *before* allocating, so a corrupt or hostile peer
+ * cannot make the server allocate unbounded memory.
+ */
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/transport.h"
+
+namespace tb::net {
+
+/** Upper bound on a request payload; app request strings are tiny, so
+ * anything near this is framing corruption, not load. */
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+inline constexpr uint32_t kRequestMagic = 0x51524254;   // "TBRQ" LE
+inline constexpr uint32_t kResponseMagic = 0x50524254;  // "TBRP" LE
+
+/**
+ * Minimal byte-stream abstraction with read(2)/write(2) semantics:
+ * readSome returns >0 bytes read, 0 on EOF, <0 on error; writeSome
+ * returns >0 bytes accepted (possibly fewer than len) or <0 on error.
+ */
+class ByteStream {
+  public:
+    virtual ~ByteStream();
+    virtual ssize_t readSome(void* buf, size_t len) = 0;
+    virtual ssize_t writeSome(const void* buf, size_t len) = 0;
+};
+
+/** Loops over short reads; false on EOF or error. */
+bool readFull(ByteStream& s, void* buf, size_t len);
+
+/** Loops over short writes; false on error. */
+bool writeFull(ByteStream& s, const void* buf, size_t len);
+
+enum class WireResult {
+    kOk,
+    /** Clean end of stream at a frame boundary. */
+    kEof,
+    /** Bad magic, oversized payload, or a mid-frame truncation. */
+    kBadFrame,
+};
+
+bool sendRequestFrame(ByteStream& s, const core::Request& req);
+WireResult recvRequestFrame(ByteStream& s, core::Request& out);
+
+bool sendResponseFrame(ByteStream& s, const core::Response& resp);
+WireResult recvResponseFrame(ByteStream& s, core::Response& out);
+
+/** ByteStream over a *connected socket* (writes use send() with
+ * MSG_NOSIGNAL, so a dead peer is an error return, not a fatal
+ * SIGPIPE); retries EINTR, does not own the fd. */
+class FdStream final : public ByteStream {
+  public:
+    explicit FdStream(int fd) : fd_(fd) {}
+    ssize_t readSome(void* buf, size_t len) override;
+    ssize_t writeSome(const void* buf, size_t len) override;
+
+  private:
+    int fd_;
+};
+
+}  // namespace tb::net
+
+#endif  // TAILBENCH_NET_WIRE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/client.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -188,10 +189,10 @@ SimHarness::run(apps::App& app, const core::HarnessConfig& cfg)
     stats_.branchMisses = misses(profile.branchMpki);
     stats_.sleepWakeups = wakeups;
 
+    // Shared result-building path (virtual time never lags its own
+    // schedule, so the lag is identically zero).
     core::RunResult result =
-        buildRunResult(std::move(timings), cfg.keepSamples);
-    // Virtual time never lags its own schedule.
-    result.maxGenLagNs = 0;
+        core::LoadClient::finalize(std::move(timings), cfg, 0);
     TB_LOG_DEBUG("sim run: app=%s offered=%.0f qps achieved=%.0f qps "
                  "cores=%u scale=%.3f p95=%.3f ms wakeups=%llu",
                  app.name().c_str(), cfg.qps, result.achievedQps, cores,

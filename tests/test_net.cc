@@ -1,0 +1,352 @@
+/** Unit tests: net/wire.h framing (round-trips under partial reads /
+ * short writes, oversized-payload rejection, EOF vs truncation) and
+ * the socket harnesses end to end (TcpServer + transports,
+ * LoopbackHarness vs IntegratedHarness, NetworkedHarness). */
+
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/integrated_harness.h"
+#include "core/methodology.h"
+#include "net/server_harness.h"
+#include "util/clock.h"
+
+#include "tests/test_util.h"
+
+using tb::core::HarnessConfig;
+using tb::core::Request;
+using tb::core::RequestTiming;
+using tb::core::Response;
+using tb::core::RunResult;
+using tb::net::ByteStream;
+using tb::net::WireResult;
+
+namespace {
+
+/**
+ * In-memory stream that deliberately fragments I/O: reads return at
+ * most @p maxRead bytes, writes accept at most @p maxWrite — the
+ * short-read/short-write behavior of a real socket, without one.
+ */
+class MemStream final : public ByteStream {
+  public:
+    MemStream(size_t maxRead, size_t maxWrite)
+        : max_read_(maxRead), max_write_(maxWrite)
+    {
+    }
+
+    ssize_t
+    readSome(void* buf, size_t len) override
+    {
+        if (pos_ >= data_.size())
+            return 0;  // EOF
+        const size_t n =
+            std::min({len, max_read_, data_.size() - pos_});
+        std::memcpy(buf, data_.data() + pos_, n);
+        pos_ += n;
+        return static_cast<ssize_t>(n);
+    }
+
+    ssize_t
+    writeSome(const void* buf, size_t len) override
+    {
+        const size_t n = std::min(len, max_write_);
+        const uint8_t* p = static_cast<const uint8_t*>(buf);
+        data_.insert(data_.end(), p, p + n);
+        return static_cast<ssize_t>(n);
+    }
+
+    std::vector<uint8_t> data_;
+    size_t pos_ = 0;
+
+  private:
+    size_t max_read_;
+    size_t max_write_;
+};
+
+std::unique_ptr<tb::apps::App>
+makeTestApp()
+{
+    auto app = tb::apps::makeApp("img-dnn");
+    tb::apps::AppConfig cfg;
+    cfg.seed = 42;
+    cfg.sizeFactor = 0.05;  // mean service ~25 us
+    app->init(cfg);
+    return app;
+}
+
+void
+checkTimingInvariants(const RunResult& r)
+{
+    for (const RequestTiming& t : r.samples) {
+        CHECK(t.startNs >= t.genNs);
+        CHECK(t.serviceNs() > 0);
+        CHECK(t.queueNs() >= 0);
+        CHECK(t.sojournNs() >= t.serviceNs());
+        CHECK(t.sojournNs() >= t.queueNs());
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    // Request round-trip through a maximally fragmenting stream: the
+    // sender sees short writes, the receiver short reads.
+    {
+        MemStream s(/*maxRead=*/3, /*maxWrite=*/2);
+        Request in;
+        in.id = 0x1122334455667788ull;
+        in.payload = "the quick brown fox";
+        in.genNs = -12345;  // sign must survive
+        CHECK(tb::net::sendRequestFrame(s, in));
+        Request out;
+        CHECK(tb::net::recvRequestFrame(s, out) == WireResult::kOk);
+        CHECK_EQ(out.id, in.id);
+        CHECK(out.payload == in.payload);
+        CHECK_EQ(out.genNs, in.genNs);
+        // The stream is now drained: a further recv is a clean EOF.
+        CHECK(tb::net::recvRequestFrame(s, out) == WireResult::kEof);
+    }
+
+    // Empty payload round-trips too.
+    {
+        MemStream s(1, 1);
+        Request in;
+        in.id = 7;
+        CHECK(tb::net::sendRequestFrame(s, in));
+        Request out;
+        out.payload = "stale";
+        CHECK(tb::net::recvRequestFrame(s, out) == WireResult::kOk);
+        CHECK(out.payload.empty());
+    }
+
+    // Response round-trip.
+    {
+        MemStream s(3, 2);
+        Response in;
+        in.id = 99;
+        in.checksum = 0xdeadbeefcafef00dull;
+        in.timing.genNs = 1000;
+        in.timing.startNs = 2000;
+        in.timing.endNs = 3500;
+        CHECK(tb::net::sendResponseFrame(s, in));
+        Response out;
+        CHECK(tb::net::recvResponseFrame(s, out) == WireResult::kOk);
+        CHECK_EQ(out.id, in.id);
+        CHECK_EQ(out.checksum, in.checksum);
+        CHECK_EQ(out.timing.genNs, in.timing.genNs);
+        CHECK_EQ(out.timing.startNs, in.timing.startNs);
+        CHECK_EQ(out.timing.endNs, in.timing.endNs);
+    }
+
+    // Back-to-back frames on one stream stay framed.
+    {
+        MemStream s(5, 3);
+        for (uint64_t i = 0; i < 10; i++) {
+            Request in;
+            in.id = i;
+            in.payload = std::string(i, 'x');
+            CHECK(tb::net::sendRequestFrame(s, in));
+        }
+        for (uint64_t i = 0; i < 10; i++) {
+            Request out;
+            CHECK(tb::net::recvRequestFrame(s, out) ==
+                  WireResult::kOk);
+            CHECK_EQ(out.id, i);
+            CHECK_EQ(out.payload.size(), static_cast<size_t>(i));
+        }
+        Request out;
+        CHECK(tb::net::recvRequestFrame(s, out) == WireResult::kEof);
+    }
+
+    // Oversized payload: the sender refuses, and a hand-crafted header
+    // claiming an oversized payload is rejected before any allocation.
+    {
+        MemStream s(64, 64);
+        Request big;
+        big.payload.assign(tb::net::kMaxPayloadBytes + 1, 'x');
+        CHECK(!tb::net::sendRequestFrame(s, big));
+
+        const uint32_t magic = tb::net::kRequestMagic;
+        const uint32_t huge = tb::net::kMaxPayloadBytes + 1;
+        uint8_t hdr[24] = {0};
+        std::memcpy(hdr, &magic, 4);
+        std::memcpy(hdr + 4, &huge, 4);
+        s.data_.assign(hdr, hdr + sizeof(hdr));
+        Request out;
+        CHECK(tb::net::recvRequestFrame(s, out) ==
+              WireResult::kBadFrame);
+    }
+
+    // Bad magic and mid-frame truncation are kBadFrame, not kEof.
+    {
+        MemStream s(64, 64);
+        Request in;
+        in.id = 3;
+        in.payload = "payload";
+        CHECK(tb::net::sendRequestFrame(s, in));
+        s.data_[0] ^= 0xff;  // corrupt magic
+        Request out;
+        CHECK(tb::net::recvRequestFrame(s, out) ==
+              WireResult::kBadFrame);
+    }
+    {
+        MemStream s(64, 64);
+        Request in;
+        in.id = 4;
+        in.payload = "payload";
+        CHECK(tb::net::sendRequestFrame(s, in));
+        s.data_.resize(s.data_.size() - 3);  // cut payload short
+        Request out;
+        CHECK(tb::net::recvRequestFrame(s, out) ==
+              WireResult::kBadFrame);
+        // Truncation inside the *header* is also kBadFrame.
+        MemStream s2(64, 64);
+        s2.data_.assign(s.data_.begin(), s.data_.begin() + 5);
+        CHECK(tb::net::recvRequestFrame(s2, out) ==
+              WireResult::kBadFrame);
+    }
+
+    // One request through the real TCP stack: TcpServer running the
+    // shared service loop, a persistent-connection client transport,
+    // server-side start/end stamps and a client-side endNs restamp.
+    {
+        auto app = makeTestApp();
+        tb::net::TcpServer server(*app, 1);
+        CHECK(server.listening());
+        CHECK(server.port() != 0);
+        server.start();
+        tb::net::TcpClientTransport transport("127.0.0.1",
+                                              server.port());
+        CHECK(transport.connected());
+
+        tb::util::Rng rng(7);
+        Request req;
+        req.id = 42;
+        req.payload = app->genRequest(rng);
+        req.genNs = tb::util::monotonicNs();
+        const int64_t gen_ns = req.genNs;
+        transport.sendRequest(std::move(req));
+        Response resp;
+        CHECK(transport.recvResponse(resp));
+        CHECK_EQ(resp.id, static_cast<uint64_t>(42));
+        CHECK_EQ(resp.timing.genNs, gen_ns);
+        CHECK(resp.timing.startNs >= gen_ns);
+        CHECK(resp.timing.endNs > resp.timing.startNs);
+        transport.finishSend();
+        CHECK(!transport.recvResponse(resp));  // clean end of stream
+        server.stop();
+    }
+
+    // Two concurrent clients of one server with *overlapping* request
+    // ids: each response must come back on the connection its request
+    // arrived on (routing is per-connection, not per-id).
+    {
+        auto app = makeTestApp();
+        tb::net::TcpServer server(*app, 2);
+        CHECK(server.listening());
+        server.start();
+        tb::net::TcpClientTransport a("127.0.0.1", server.port());
+        tb::net::TcpClientTransport b("127.0.0.1", server.port());
+        CHECK(a.connected());
+        CHECK(b.connected());
+
+        tb::util::Rng rng(11);
+        for (uint64_t i = 0; i < 20; i++) {
+            Request ra;
+            ra.id = i;  // both clients use ids 0..19
+            ra.payload = app->genRequest(rng);
+            ra.genNs = 1000000 + static_cast<int64_t>(i);  // client A tag
+            a.sendRequest(std::move(ra));
+            Request rb;
+            rb.id = i;
+            rb.payload = app->genRequest(rng);
+            rb.genNs = 2000000 + static_cast<int64_t>(i);  // client B tag
+            b.sendRequest(std::move(rb));
+        }
+        a.finishSend();
+        b.finishSend();
+        unsigned got_a = 0;
+        Response resp;
+        while (a.recvResponse(resp)) {
+            CHECK(resp.timing.genNs >= 1000000 &&
+                  resp.timing.genNs < 2000000);
+            got_a++;
+        }
+        unsigned got_b = 0;
+        while (b.recvResponse(resp)) {
+            CHECK(resp.timing.genNs >= 2000000);
+            got_b++;
+        }
+        CHECK_EQ(got_a, 20u);
+        CHECK_EQ(got_b, 20u);
+        server.stop();
+    }
+
+    // LoopbackHarness end to end vs the integrated harness at the
+    // same low load: same request count, the same timestamp
+    // invariants, and achieved throughput within tolerance of
+    // integrated (both track the offered rate when unsaturated).
+    {
+        auto app = makeTestApp();
+        tb::core::IntegratedHarness integrated;
+        tb::net::LoopbackHarness loopback;
+        CHECK(loopback.configName() == std::string("loopback"));
+
+        const double sat = tb::core::estimateSaturationQps(
+            integrated, *app, 1, 42, 200);
+        HarnessConfig cfg;
+        cfg.qps = 0.10 * sat;
+        cfg.workerThreads = 1;
+        cfg.warmupRequests = 50;
+        cfg.measuredRequests = 400;
+        cfg.seed = 42;
+        cfg.keepSamples = true;
+
+        const RunResult ri = integrated.run(*app, cfg);
+        const RunResult rl = loopback.run(*app, cfg);
+        CHECK_EQ(rl.latency.sojourn.count,
+                 static_cast<uint64_t>(400));
+        CHECK_EQ(rl.samples.size(), static_cast<size_t>(400));
+        checkTimingInvariants(rl);
+        CHECK_NEAR(rl.achievedQps, ri.achievedQps, 0.20);
+        // Sockets cost something: loopback mean sojourn is not
+        // *faster* than integrated by more than noise.
+        CHECK(rl.latency.sojourn.meanNs >
+              0.5 * ri.latency.sojourn.meanNs);
+    }
+
+    // NetworkedHarness end to end: per-request connections against an
+    // in-process server on an ephemeral port.
+    {
+        auto app = makeTestApp();
+        tb::net::NetworkedHarness networked;
+        CHECK(networked.configName() == std::string("networked"));
+        HarnessConfig cfg;
+        cfg.qps = 1500.0;
+        cfg.workerThreads = 1;
+        cfg.warmupRequests = 20;
+        cfg.measuredRequests = 150;
+        cfg.seed = 43;
+        cfg.keepSamples = true;
+        const RunResult r = networked.run(*app, cfg);
+        CHECK_EQ(r.latency.sojourn.count, static_cast<uint64_t>(150));
+        checkTimingInvariants(r);
+        // Multi-worker service loop over sockets also completes.
+        cfg.workerThreads = 2;
+        cfg.seed = 44;
+        cfg.keepSamples = false;
+        const RunResult r2 = networked.run(*app, cfg);
+        CHECK_EQ(r2.latency.sojourn.count,
+                 static_cast<uint64_t>(150));
+    }
+
+    return TEST_MAIN_RESULT();
+}
