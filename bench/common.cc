@@ -18,6 +18,8 @@ BenchSettings::fromEnv()
         s.sizeFactor = std::atof(sz);
     if (std::getenv("TAILBENCH_FAST"))
         s.fast = true;
+    if (std::getenv("TAILBENCH_PIN_WORKERS"))
+        s.pinWorkers = true;
     if (const char* sd = std::getenv("TAILBENCH_SEED"))
         s.seed = static_cast<uint64_t>(std::atoll(sd));
     return s;
@@ -62,7 +64,8 @@ requestBudget(const std::string& app, const BenchSettings& s)
 
 double
 calibrateSaturation(core::Harness& harness, apps::App& app,
-                    unsigned threads, const BenchSettings& s)
+                    unsigned threads, const BenchSettings& s,
+                    bool pin_workers)
 {
     // Two-step calibration. The analytic estimate (threads / E[S] from
     // a low-load probe) overestimates capacity for heavy-tailed apps —
@@ -80,6 +83,7 @@ calibrateSaturation(core::Harness& harness, apps::App& app,
     cfg.warmupRequests = probe / 4;
     cfg.measuredRequests = probe * 2;
     cfg.seed = s.seed + 1;
+    cfg.pinWorkers = pin_workers;
     const double achieved = harness.run(app, cfg).achievedQps;
     // Guard against a degenerate overload run on a noisy host.
     if (achieved > 0.05 * est && achieved < 1.5 * est)
@@ -120,7 +124,7 @@ measureAtRobust(core::Harness& harness, apps::App& app, double qps,
 core::RunResult
 measureAt(core::Harness& harness, apps::App& app, double qps,
           unsigned threads, uint64_t requests, uint64_t seed,
-          bool keep_samples)
+          bool keep_samples, bool pin_workers)
 {
     core::HarnessConfig cfg;
     cfg.qps = qps;
@@ -129,6 +133,7 @@ measureAt(core::Harness& harness, apps::App& app, double qps,
     cfg.measuredRequests = requests;
     cfg.seed = seed;
     cfg.keepSamples = keep_samples;
+    cfg.pinWorkers = pin_workers;
     return harness.run(app, cfg);
 }
 
@@ -167,6 +172,17 @@ fmtP95Cell(const core::RunResult& r, double qps)
 {
     std::string cell =
         fmtMs(static_cast<double>(r.latency.sojourn.p95Ns));
+    if (genLagInvalidates(r, qps))
+        cell += "!";
+    return cell;
+}
+
+std::string
+fmtQpsCell(const core::RunResult& r, double qps)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", r.achievedQps);
+    std::string cell = buf;
     if (genLagInvalidates(r, qps))
         cell += "!";
     return cell;

@@ -9,6 +9,10 @@
  *   TAILBENCH_SIZE  dataset size factor (default 0.25; paper-scale = 1.0)
  *   TAILBENCH_FAST  if set, cut sweep points and request counts ~4x
  *                   (smoke mode for CI)
+ *   TAILBENCH_PIN_WORKERS  if set, pin service worker w to CPU w so
+ *                   per-worker-shard measurements are not confounded
+ *                   by OS thread migration (drivers that honor it pass
+ *                   it through measureAt)
  */
 
 #include <cstdint>
@@ -25,6 +29,7 @@ namespace tb::bench {
 struct BenchSettings {
     double sizeFactor = 0.25;
     bool fast = false;
+    bool pinWorkers = false;
     uint64_t seed = 42;
 
     static BenchSettings fromEnv();
@@ -45,15 +50,21 @@ uint64_t requestBudget(const std::string& app, const BenchSettings& s);
  * Measures saturation QPS of (app, harness, threads): analytic
  * estimate from a low-load service probe, refined against achieved
  * throughput under deliberate overload (robust to heavy-tailed service
- * distributions, which the probe undersamples).
+ * distributions, which the probe undersamples). @p pin_workers makes
+ * the overload capacity run use the same worker pinning as the
+ * measurements it calibrates for — calibrating unpinned and measuring
+ * pinned would put the "70% load" points at 70% of a different
+ * configuration's capacity.
  */
 double calibrateSaturation(core::Harness& harness, apps::App& app,
-                           unsigned threads, const BenchSettings& s);
+                           unsigned threads, const BenchSettings& s,
+                           bool pin_workers = false);
 
 /** One latency measurement at a fixed offered load. */
 core::RunResult measureAt(core::Harness& harness, apps::App& app,
                           double qps, unsigned threads, uint64_t requests,
-                          uint64_t seed, bool keep_samples = false);
+                          uint64_t seed, bool keep_samples = false,
+                          bool pin_workers = false);
 
 /** Median-of-repeats latency point (robust to host scheduling noise). */
 struct RobustPoint {
@@ -94,6 +105,13 @@ bool genLagInvalidates(const core::RunResult& r, double qps);
  * when genLagInvalidates — invalidated points are visible in driver
  * output instead of only in a warning log line. */
 std::string fmtP95Cell(const core::RunResult& r, double qps);
+
+/** Achieved-throughput (completed QPS) cell printed next to the p95
+ * cells, so saturation is visible in every table: achieved falling
+ * short of offered IS the saturation signal. Shares fmtP95Cell's "!"
+ * gen-lag annotation — a lagging generator means even the offered
+ * side of the comparison was below nominal. */
+std::string fmtQpsCell(const core::RunResult& r, double qps);
 
 }  // namespace tb::bench
 

@@ -30,18 +30,19 @@ main()
         const uint64_t budget = bench::requestBudget(name, s);
 
         std::printf("\n%s (sat ~ %.0f qps)\n", name.c_str(), sat);
-        std::printf("  %10s %12s %12s %12s\n", "qps", "mean_ms",
-                    "p95_ms", "p99_ms");
+        std::printf("  %10s %12s %12s %12s %10s\n", "qps", "mean_ms",
+                    "p95_ms", "p99_ms", "ach_qps");
         for (double f : bench::sweepFractions(s)) {
             const double qps = f * sat;
             const core::RunResult r = bench::measureAt(
                 h, *app, qps, 1, budget,
                 s.seed + static_cast<uint64_t>(f * 100));
-            std::printf("  %10.1f %12s %12s %12s\n", qps,
+            std::printf("  %10.1f %12s %12s %12s %10s\n", qps,
                         bench::fmtMs(r.latency.sojourn.meanNs).c_str(),
                         bench::fmtP95Cell(r, qps).c_str(),
                         bench::fmtMs(static_cast<double>(
-                            r.latency.sojourn.p99Ns)).c_str());
+                            r.latency.sojourn.p99Ns)).c_str(),
+                        bench::fmtQpsCell(r, qps).c_str());
         }
     }
     return 0;

@@ -48,16 +48,18 @@ main()
         std::printf("\n%s (sat: networked %.0f, loopback %.0f, "
                     "integrated %.0f, simulation %.0f qps)\n",
                     name.c_str(), sat[0], sat[1], sat[2], sat[3]);
-        std::printf("  %6s %12s %12s %12s %12s\n", "load", "networked",
-                    "loopback", "integrated", "simulation");
+        std::printf("  %6s %12s %8s %12s %8s %12s %8s %12s %8s\n",
+                    "load", "networked", "ach", "loopback", "ach",
+                    "integrated", "ach", "simulation", "ach");
         for (double f : bench::sweepFractions(s)) {
             std::printf("  %6.2f", f);
             for (int c = 0; c < 4; c++) {
                 const core::RunResult r = bench::measureAt(
                     *configs[c], *app, f * sat[c], 1, budget,
                     s.seed + static_cast<uint64_t>(f * 1000));
-                std::printf(" %12s",
-                            bench::fmtP95Cell(r, f * sat[c]).c_str());
+                std::printf(" %12s %8s",
+                            bench::fmtP95Cell(r, f * sat[c]).c_str(),
+                            bench::fmtQpsCell(r, f * sat[c]).c_str());
             }
             std::printf("\n");
         }

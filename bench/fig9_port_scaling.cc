@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ServerPort scaling: saturation throughput and p95 across
+ * worker count x request-queue policy x transport.
+ *
+ *   queue policy   single (one shared queue — the baseline), sharded
+ *                  (per-worker shards, batched pop), sharded+steal
+ *   transport      in-process (IntegratedHarness), multi-connection
+ *                  loopback (one persistent connection per server
+ *                  worker, TailBench++-style), per-request-connection
+ *                  networked (the costliest baseline)
+ *
+ * Expected shape: with one worker the three policies coincide (one
+ * shard IS a single queue); as workers grow, the shared queue's
+ * lock/wake contention caps throughput while the sharded port keeps
+ * scaling, with stealing recovering the imbalance that round-robin /
+ * connection-affine placement leaves behind. On the client side, the
+ * multi-connection transport exists to offer enough load to expose
+ * the difference — a single socket's frame serialization saturates
+ * before a multi-worker server does.
+ *
+ * Cells: saturation (achieved QPS under deliberate overload) and p95
+ * sojourn at 70% of it. "!"-annotated cells mark generator lag
+ * (offered load silently below nominal — for the per-request
+ * transport at high QPS that is itself the finding).
+ *
+ * TAILBENCH_PIN_WORKERS pins worker w to CPU w so shard-per-worker
+ * numbers are not confounded by OS migration; the header line reports
+ * the pinned count actually achieved (RunResult::pinnedWorkers).
+ */
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/integrated_harness.h"
+#include "net/server_harness.h"
+
+using namespace tb;
+
+namespace {
+
+const core::QueuePolicy kPolicies[] = {
+    core::QueuePolicy::kSingleQueue,
+    core::QueuePolicy::kSharded,
+    core::QueuePolicy::kShardedSteal,
+};
+
+const char* const kTransports[] = {"in-process", "loopback-mc",
+                                   "per-request"};
+
+std::unique_ptr<core::Harness>
+makeHarness(const std::string& transport, core::QueuePolicy policy)
+{
+    core::PortOptions popts;
+    popts.policy = policy;
+    if (transport == "in-process")
+        return std::make_unique<core::IntegratedHarness>(popts);
+    if (transport == "loopback-mc") {
+        net::LoopbackOptions lopts;
+        lopts.connections = 0;  // one per server worker
+        lopts.port = popts;
+        return std::make_unique<net::LoopbackHarness>(lopts);
+    }
+    return std::make_unique<net::NetworkedHarness>(popts);
+}
+
+}  // namespace
+
+int
+main()
+{
+    const bench::BenchSettings s = bench::BenchSettings::fromEnv();
+    bench::printHeader(
+        "Fig. 9: ServerPort scaling — workers x queue policy x "
+        "transport");
+
+    const std::vector<std::string> app_names = s.fast
+        ? std::vector<std::string>{"silo"}
+        : std::vector<std::string>{"silo", "img-dnn"};
+    const std::vector<unsigned> worker_counts =
+        s.fast ? std::vector<unsigned>{1, 4}
+               : std::vector<unsigned>{1, 2, 4};
+
+    for (const auto& name : app_names) {
+        auto app = bench::makeBenchApp(name, s);
+        const uint64_t budget = bench::requestBudget(name, s);
+        // sat[transport][policy][workers], for the summary lines.
+        std::map<std::string,
+                 std::map<core::QueuePolicy, std::map<unsigned, double>>>
+            sat;
+
+        for (const char* transport : kTransports) {
+            std::printf("\n%s — %s transport%s\n", name.c_str(),
+                        transport,
+                        s.pinWorkers ? " (workers pinned)" : "");
+            std::printf("  %7s", "workers");
+            for (core::QueuePolicy p : kPolicies)
+                std::printf(" %13s:sat %10s",
+                            core::queuePolicyName(p), "p95@70%");
+            std::printf("\n");
+
+            for (unsigned w : worker_counts) {
+                std::printf("  %7u", w);
+                for (core::QueuePolicy p : kPolicies) {
+                    auto harness = makeHarness(transport, p);
+                    const double cap = bench::calibrateSaturation(
+                        *harness, *app, w, s, s.pinWorkers);
+                    sat[transport][p][w] = cap;
+                    const double qps = 0.7 * cap;
+                    const core::RunResult r = bench::measureAt(
+                        *harness, *app, qps, w, budget,
+                        s.seed + w * 17, /*keep_samples=*/false,
+                        s.pinWorkers);
+                    std::printf(" %17.0f %10s", cap,
+                                bench::fmtP95Cell(r, qps).c_str());
+                }
+                std::printf("\n");
+            }
+        }
+
+        // The tentpole claim, printed per transport: at the highest
+        // worker count, sharding the port should not cost throughput
+        // versus the shared queue, and past a single socket's limits
+        // it should win.
+        const unsigned wmax = worker_counts.back();
+        std::printf("\n  sharded-vs-single saturation delta @%u "
+                    "workers:",
+                    wmax);
+        for (const char* transport : kTransports) {
+            const double single =
+                sat[transport][core::QueuePolicy::kSingleQueue][wmax];
+            const double sharded =
+                sat[transport][core::QueuePolicy::kSharded][wmax];
+            const double steal =
+                sat[transport]
+                   [core::QueuePolicy::kShardedSteal][wmax];
+            if (single > 0.0)
+                std::printf(" %s %+.0f%% (steal %+.0f%%)", transport,
+                            100.0 * (sharded - single) / single,
+                            100.0 * (steal - single) / single);
+            else
+                std::printf(" %s n/a", transport);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -43,6 +43,10 @@ struct HarnessConfig {
     uint64_t seed = 42;
     /** Keep per-request timings in RunResult::samples. */
     bool keepSamples = false;
+    /** Pin service workers to CPUs (ServiceOptions::pinWorkers) so
+     * per-worker-shard measurements are not confounded by OS thread
+     * migration. Real-time harnesses only; the simulator ignores it. */
+    bool pinWorkers = false;
 };
 
 /** Timestamps of one request's life cycle, all from the same
@@ -85,6 +89,14 @@ struct RunResult {
      * warning when that happens).
      */
     int64_t maxGenLagNs = 0;
+    /**
+     * Effective service-side concurrency: worker threads that served
+     * the run, and how many of them were successfully CPU-pinned
+     * (0/0 when the harness has no real worker pool, e.g. an external
+     * server or the virtual-time simulator).
+     */
+    unsigned serviceWorkers = 0;
+    unsigned pinnedWorkers = 0;
     /** Per-request timings (measured window only), in generation
      * order; populated only when HarnessConfig::keepSamples. */
     std::vector<RequestTiming> samples;

@@ -14,12 +14,18 @@ IntegratedHarness::run(apps::App& app, const HarnessConfig& cfg)
     if (total == 0 || cfg.qps <= 0.0)
         return RunResult{};
 
-    InProcessTransport transport;
-    ServiceLoop service(transport.serverPort(), app, cfg.workerThreads);
+    const unsigned workers =
+        cfg.workerThreads == 0 ? 1 : cfg.workerThreads;
+    InProcessTransport transport(resolveShards(port_, workers));
+    ServiceOptions sopts;
+    sopts.pinWorkers = cfg.pinWorkers;
+    ServiceLoop service(transport.serverPort(), app, workers, sopts);
     service.start();
     LoadClient client;
-    const RunResult result = client.run(app, cfg, transport);
+    RunResult result = client.run(app, cfg, transport);
     service.join();
+    result.serviceWorkers = service.workers();
+    result.pinnedWorkers = service.pinnedWorkers();
 
     TB_LOG_DEBUG("integrated run: app=%s offered=%.0f qps achieved=%.0f "
                  "qps threads=%u measured=%llu p95=%.3f ms",

@@ -20,16 +20,24 @@
  */
 
 #include "core/harness.h"
+#include "core/sharded_port.h"
 
 namespace tb::core {
 
 class IntegratedHarness final : public Harness {
   public:
+    /** Default PortOptions keep the single-queue baseline; a sharded
+     * policy gives each worker its own request shard (shards == 0
+     * resolves to the run's worker count). */
     IntegratedHarness() = default;
+    explicit IntegratedHarness(const PortOptions& port) : port_(port) {}
 
     RunResult run(apps::App& app, const HarnessConfig& cfg) override;
 
     std::string configName() const override { return "integrated"; }
+
+  private:
+    PortOptions port_;
 };
 
 }  // namespace tb::core

@@ -13,13 +13,22 @@
  * length (measuredRequests).
  */
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace tb::core {
+
+/** Outcome of a timed pop (BlockingQueue::popFor). */
+enum class PopResult {
+    kItem,     // an item was delivered
+    kTimeout,  // queue stayed empty for the whole wait (not closed)
+    kClosed,   // closed and drained — the consumer is done
+};
 
 /** One in-flight request. genNs is the scheduled generation time —
  * assigned by the open-loop generator before the send, never after. */
@@ -72,6 +81,47 @@ class BlockingQueue {
         return true;
     }
 
+    /**
+     * Timed pop: blocks up to @p d for an item. kTimeout keeps the
+     * consumer's hands free to look elsewhere (work stealing) without
+     * giving up on this queue.
+     */
+    PopResult
+    popFor(T& out, std::chrono::nanoseconds d)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait_for(lock, d,
+                     [this] { return !queue_.empty() || closed_; });
+        if (!queue_.empty()) {
+            out = std::move(queue_.front());
+            queue_.pop_front();
+            return PopResult::kItem;
+        }
+        return closed_ ? PopResult::kClosed : PopResult::kTimeout;
+    }
+
+    /**
+     * Blocking batched pop: waits like pop(), then moves up to @p max
+     * items under the one lock acquisition — consumers amortize the
+     * wake/lock cost when a backlog exists. Appends to @p out and
+     * returns the count appended; 0 only when closed AND drained.
+     */
+    size_t
+    popBatch(std::vector<T>& out, size_t max)
+    {
+        if (max == 0)
+            return 0;
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+        size_t n = 0;
+        while (!queue_.empty() && n < max) {
+            out.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            n++;
+        }
+        return n;
+    }
+
     /** Non-blocking pop: false when the queue is currently empty
      * (says nothing about closed state). */
     bool
@@ -83,6 +133,21 @@ class BlockingQueue {
         out = std::move(queue_.front());
         queue_.pop_front();
         return true;
+    }
+
+    /** Non-blocking batched pop: appends up to @p max items to @p out,
+     * returns the count appended (0 when currently empty). */
+    size_t
+    tryPopBatch(std::vector<T>& out, size_t max)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        size_t n = 0;
+        while (!queue_.empty() && n < max) {
+            out.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            n++;
+        }
+        return n;
     }
 
     /** After close(), pop() drains the backlog then returns false. */

@@ -6,9 +6,15 @@
  * The server-side request loop shared by every real-time
  * configuration: N worker threads, each running
  *
- *   while (port.recvReq(req)):
- *       start = now; checksum = app.process(req); end = now
- *       port.sendResp({id, checksum, {genNs, start, end}})
+ *   while (port.recvReqBatch(batch, batchMax)):
+ *       for req in batch:
+ *           start = now; checksum = app.process(req); end = now
+ *           port.sendResp({id, checksum, {genNs, start, end}})
+ *
+ * The batch form degrades to the scalar recvReq path for ports that
+ * do not override it (the default recvReqBatch is one recvReq), so
+ * the single-queue baseline keeps its original per-request pop while
+ * the sharded port amortizes wakes at load.
  *
  * The loop owns the service-side timestamps (startNs / endNs around
  * App::process, one monotonic clock) and nothing else — warmup
@@ -18,6 +24,7 @@
  */
 
 #include <atomic>
+#include <cstddef>
 #include <thread>
 #include <vector>
 
@@ -26,11 +33,23 @@
 
 namespace tb::core {
 
+struct ServiceOptions {
+    /**
+     * Pin worker w to the w-th CPU of the process's allowed affinity
+     * mask, so shard-per-worker measurements are not confounded by OS
+     * thread migration. Best-effort (Linux only);
+     * RunResult::pinnedWorkers records how many workers the pin
+     * actually took on.
+     */
+    bool pinWorkers = false;
+};
+
 class ServiceLoop {
   public:
     /** Does not start any thread; call start(). @p port and @p app
      * must outlive the loop. */
-    ServiceLoop(ServerPort& port, apps::App& app, unsigned workers);
+    ServiceLoop(ServerPort& port, apps::App& app, unsigned workers,
+                const ServiceOptions& opts = {});
     ~ServiceLoop();
 
     ServiceLoop(const ServiceLoop&) = delete;
@@ -45,13 +64,22 @@ class ServiceLoop {
      * sent. */
     void join();
 
+    /** Worker threads this loop runs (the effective concurrency). */
+    unsigned workers() const { return workers_; }
+
+    /** Workers whose CPU pin succeeded (0 unless opts.pinWorkers;
+     * stable after join()). */
+    unsigned pinnedWorkers() const { return pinned_.load(); }
+
   private:
-    void workerBody();
+    void workerBody(unsigned worker);
 
     ServerPort& port_;
     apps::App& app_;
     const unsigned workers_;
+    const ServiceOptions opts_;
     std::atomic<unsigned> active_{0};
+    std::atomic<unsigned> pinned_{0};
     std::vector<std::thread> threads_;
 };
 

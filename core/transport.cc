@@ -5,7 +5,28 @@ namespace tb::core {
 Transport::~Transport() = default;
 ServerPort::~ServerPort() = default;
 
-InProcessTransport::InProcessTransport() : port_(*this) {}
+size_t
+ServerPort::recvReqBatch(std::vector<Request>& out, size_t max)
+{
+    out.clear();
+    if (max == 0)
+        return 0;
+    Request req;
+    if (!recvReq(req))
+        return 0;
+    out.push_back(std::move(req));
+    return 1;
+}
+
+void
+ServerPort::bindWorker(unsigned)
+{
+}
+
+InProcessTransport::InProcessTransport(const PortOptions& opts)
+    : requests_(opts), port_(*this)
+{
+}
 
 void
 InProcessTransport::sendRequest(Request&& req)
@@ -29,6 +50,19 @@ bool
 InProcessTransport::Port::recvReq(Request& out)
 {
     return owner_.requests_.pop(out);
+}
+
+size_t
+InProcessTransport::Port::recvReqBatch(std::vector<Request>& out,
+                                       size_t max)
+{
+    return owner_.requests_.popBatch(out, max);
+}
+
+void
+InProcessTransport::Port::bindWorker(unsigned worker)
+{
+    owner_.requests_.bind(worker);
 }
 
 void

@@ -28,8 +28,11 @@
  * service-side stamp untouched (there is no hop to pay).
  */
 
+#include <vector>
+
 #include "core/harness.h"
 #include "core/request_queue.h"
+#include "core/sharded_port.h"
 
 namespace tb::core {
 
@@ -77,6 +80,25 @@ class ServerPort {
      * called from many worker threads. */
     virtual bool recvReq(Request& out) = 0;
 
+    /**
+     * Batched variant: blocks like recvReq, then delivers up to
+     * @p max requests into @p out (cleared first). Returns the count;
+     * 0 means the stream is finished, exactly like recvReq's false.
+     * The default degrades to one scalar recvReq, so ports without a
+     * batch-capable queue behind them need not override — the shared
+     * ServiceLoop always calls this form.
+     */
+    virtual size_t recvReqBatch(std::vector<Request>& out, size_t max);
+
+    /**
+     * Called once by each service worker (with its 0-based index)
+     * before its first recvReq, from the worker's own thread. Ports
+     * with per-worker state — the sharded RequestPool binds the
+     * calling thread to its shard here — override it; the default is
+     * a no-op.
+     */
+    virtual void bindWorker(unsigned worker);
+
     /** Delivers one completed response toward the client. May be
      * called from many worker threads. */
     virtual void sendResp(Response&& resp) = 0;
@@ -88,14 +110,21 @@ class ServerPort {
 
 /**
  * The integrated configuration's transport: both sides in one process,
- * connected by a pair of unbounded blocking queues. Zero marshalling,
- * zero copies beyond the queue hand-off — the lowest-overhead
- * transport, which is why the paper uses the integrated setup as the
- * reference the networked ones are validated against.
+ * connected by the request pool and an unbounded response queue. Zero
+ * marshalling, zero copies beyond the queue hand-off — the
+ * lowest-overhead transport, which is why the paper uses the
+ * integrated setup as the reference the networked ones are validated
+ * against.
+ *
+ * The request side is a RequestPool (core/sharded_port.h): the
+ * default PortOptions keep the classic single shared queue; a sharded
+ * policy gives each service worker its own shard with batched pop and
+ * optional stealing. Resolve PortOptions::shards to the worker count
+ * before constructing.
  */
 class InProcessTransport final : public Transport {
   public:
-    InProcessTransport();
+    explicit InProcessTransport(const PortOptions& opts = {});
 
     ServerPort& serverPort() { return port_; }
 
@@ -108,6 +137,9 @@ class InProcessTransport final : public Transport {
       public:
         explicit Port(InProcessTransport& owner) : owner_(owner) {}
         bool recvReq(Request& out) override;
+        size_t recvReqBatch(std::vector<Request>& out,
+                            size_t max) override;
+        void bindWorker(unsigned worker) override;
         void sendResp(Response&& resp) override;
         void closeResponses() override;
 
@@ -115,7 +147,7 @@ class InProcessTransport final : public Transport {
         InProcessTransport& owner_;
     };
 
-    BlockingQueue<Request> requests_;
+    RequestPool requests_;
     BlockingQueue<Response> responses_;
     Port port_;
 };

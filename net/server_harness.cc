@@ -120,12 +120,27 @@ struct TcpServer::Conn {
 
 class TcpServer::Port final : public core::ServerPort {
   public:
-    explicit Port(TcpServer& server) : server_(server) {}
+    Port(TcpServer& server, const core::PortOptions& opts)
+        : pool_(opts), server_(server)
+    {
+    }
 
     bool
     recvReq(core::Request& out) override
     {
-        return queue_.pop(out);
+        return pool_.pop(out);
+    }
+
+    size_t
+    recvReqBatch(std::vector<core::Request>& out, size_t max) override
+    {
+        return pool_.popBatch(out, max);
+    }
+
+    void
+    bindWorker(unsigned worker) override
+    {
+        pool_.bind(worker);
     }
 
     void
@@ -138,7 +153,10 @@ class TcpServer::Port final : public core::ServerPort {
      * what ends the client's stream; nothing further to close. */
     void closeResponses() override {}
 
-    core::RequestQueue queue_;
+    /** Request dispatch (single or sharded per core::PortOptions);
+     * connection serials are the placement key, so one connection's
+     * requests stay on one worker's shard. */
+    core::RequestPool pool_;
     std::mutex map_mu_;
     /** Conn::serial -> connection; inserted at accept, erased at
      * connection close. */
@@ -149,9 +167,12 @@ class TcpServer::Port final : public core::ServerPort {
 };
 
 TcpServer::TcpServer(apps::App& app, unsigned workers, uint16_t port,
-                     bool loopbackOnly)
-    : port_obj_(new Port(*this)),
-      service_(new core::ServiceLoop(*port_obj_, app, workers))
+                     bool loopbackOnly,
+                     const core::PortOptions& portOpts,
+                     const core::ServiceOptions& svcOpts)
+    : port_obj_(new Port(*this, core::resolveShards(portOpts, workers))),
+      service_(
+          new core::ServiceLoop(*port_obj_, app, workers, svcOpts))
 {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0)
@@ -184,6 +205,18 @@ TcpServer::~TcpServer()
     stop();
     if (listen_fd_ >= 0)
         ::close(listen_fd_);
+}
+
+unsigned
+TcpServer::workers() const
+{
+    return service_->workers();
+}
+
+unsigned
+TcpServer::pinnedWorkers() const
+{
+    return service_->pinnedWorkers();
 }
 
 void
@@ -221,7 +254,7 @@ TcpServer::stop()
     for (std::thread& t : reader_threads_)
         t.join();
     reader_threads_.clear();
-    port_obj_->queue_.close();
+    port_obj_->pool_.close();
     service_->join();
     {
         std::lock_guard<std::mutex> lock(conns_mu_);
@@ -297,7 +330,7 @@ TcpServer::readConnection(const std::shared_ptr<Conn>& conn)
                 std::lock_guard<std::mutex> lock(conn->mu);
                 conn->outstanding++;
             }
-            port_obj_->queue_.push(std::move(req));
+            port_obj_->pool_.push(std::move(req));
             continue;
         }
         if (res == WireResult::kBadFrame)
@@ -422,6 +455,107 @@ TcpClientTransport::finishSend()
         ::shutdown(fd_, SHUT_WR);
 }
 
+// ------------------------------------------------ MultiConnTcpTransport
+
+MultiConnTcpTransport::MultiConnTcpTransport(const std::string& host,
+                                             uint16_t port,
+                                             unsigned connections)
+{
+    const unsigned n = connections == 0 ? 1 : connections;
+    fds_.reserve(n);
+    for (unsigned c = 0; c < n; c++)
+        fds_.push_back(connectTcp(host, port));
+    open_.assign(fds_.size(), true);
+    if (!connected())
+        TB_LOG_ERROR("multi-conn transport: connect %u x %s:%u failed",
+                     n, host.c_str(), static_cast<unsigned>(port));
+}
+
+MultiConnTcpTransport::~MultiConnTcpTransport()
+{
+    for (int fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+bool
+MultiConnTcpTransport::connected() const
+{
+    for (int fd : fds_) {
+        if (fd < 0)
+            return false;
+    }
+    return !fds_.empty();
+}
+
+void
+MultiConnTcpTransport::sendRequest(core::Request&& req)
+{
+    // Round-robin placement across the connections; the server's
+    // sharded port then keys on the connection serial, so with one
+    // connection per worker this is end-to-end request striping.
+    const int fd = fds_[rr_++ % fds_.size()];
+    if (fd < 0)
+        return;
+    FdStream stream(fd);
+    if (!sendRequestFrame(stream, req))
+        TB_LOG_WARN("multi-conn transport: request write failed");
+}
+
+bool
+MultiConnTcpTransport::recvResponse(core::Response& out)
+{
+    for (;;) {
+        pfds_.clear();
+        idx_.clear();
+        for (size_t k = 0; k < fds_.size(); k++) {
+            if (!open_[k] || fds_[k] < 0)
+                continue;
+            struct pollfd p;
+            p.fd = fds_[k];
+            p.events = POLLIN;
+            p.revents = 0;
+            pfds_.push_back(p);
+            idx_.push_back(k);
+        }
+        if (pfds_.empty())
+            return false;  // every connection reached end of stream
+        const int n = ::poll(pfds_.data(),
+                             static_cast<nfds_t>(pfds_.size()), -1);
+        if (n <= 0) {
+            if (n < 0 && errno != EINTR)
+                return false;
+            continue;
+        }
+        for (size_t k = 0; k < pfds_.size(); k++) {
+            if (!(pfds_[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            FdStream stream(pfds_[k].fd);
+            const WireResult res = recvResponseFrame(stream, out);
+            if (res == WireResult::kOk) {
+                // Completion is client-side receipt (see
+                // TcpClientTransport).
+                out.timing.endNs = util::monotonicNs();
+                return true;
+            }
+            if (res == WireResult::kBadFrame)
+                TB_LOG_WARN("multi-conn transport: malformed response "
+                            "frame");
+            open_[idx_[k]] = false;  // EOF (or poisoned): retire it
+        }
+    }
+}
+
+void
+MultiConnTcpTransport::finishSend()
+{
+    for (int fd : fds_) {
+        if (fd >= 0)
+            ::shutdown(fd, SHUT_WR);
+    }
+}
+
 // ----------------------------------------------- PerRequestTcpTransport
 
 PerRequestTcpTransport::PerRequestTcpTransport(const std::string& host,
@@ -516,24 +650,47 @@ LoopbackHarness::run(apps::App& app, const core::HarnessConfig& cfg)
         cfg.qps <= 0.0)
         return core::RunResult{};
 
-    TcpServer server(app, cfg.workerThreads);
+    const unsigned workers =
+        cfg.workerThreads == 0 ? 1 : cfg.workerThreads;
+    core::ServiceOptions sopts;
+    sopts.pinWorkers = cfg.pinWorkers;
+    TcpServer server(app, workers, 0, true, opts_.port, sopts);
     if (!server.listening()) {
         TB_LOG_ERROR("loopback harness: could not listen on "
                      "127.0.0.1");
         return core::RunResult{};
     }
     server.start();
-    TcpClientTransport transport("127.0.0.1", server.port());
-    if (!transport.connected()) {
+    // connections == 0: one per server worker (TailBench++-style).
+    const unsigned conns =
+        opts_.connections == 0 ? workers : opts_.connections;
+    std::unique_ptr<core::Transport> transport;
+    bool connected = false;
+    if (conns <= 1) {
+        auto t = std::make_unique<TcpClientTransport>("127.0.0.1",
+                                                      server.port());
+        connected = t->connected();
+        transport = std::move(t);
+    } else {
+        auto t = std::make_unique<MultiConnTcpTransport>(
+            "127.0.0.1", server.port(), conns);
+        connected = t->connected();
+        transport = std::move(t);
+    }
+    if (!connected) {
         server.stop();
         return core::RunResult{};
     }
     core::LoadClient client;
-    const core::RunResult result = client.run(app, cfg, transport);
+    core::RunResult result = client.run(app, cfg, *transport);
     server.stop();
-    TB_LOG_DEBUG("loopback run: app=%s offered=%.0f achieved=%.0f qps "
-                 "p95=%.3f ms",
-                 app.name().c_str(), cfg.qps, result.achievedQps,
+    result.serviceWorkers = server.workers();
+    result.pinnedWorkers = server.pinnedWorkers();
+    TB_LOG_DEBUG("loopback run: app=%s conns=%u queue=%s offered=%.0f "
+                 "achieved=%.0f qps p95=%.3f ms",
+                 app.name().c_str(), conns,
+                 core::queuePolicyName(opts_.port.policy), cfg.qps,
+                 result.achievedQps,
                  static_cast<double>(result.latency.sojourn.p95Ns) /
                      1e6);
     return result;
@@ -545,6 +702,12 @@ NetworkedHarness::NetworkedHarness() : host_("127.0.0.1")
         host_ = h;
     if (const char* p = std::getenv("TAILBENCH_NET_PORT"))
         port_ = parsePort(p, "TAILBENCH_NET_PORT");
+}
+
+NetworkedHarness::NetworkedHarness(const core::PortOptions& port)
+    : NetworkedHarness()
+{
+    port_opts_ = port;
 }
 
 core::RunResult
@@ -562,7 +725,10 @@ NetworkedHarness::run(apps::App& app, const core::HarnessConfig& cfg)
     std::string host = host_;
     uint16_t port = port_;
     if (port == 0) {
-        server.reset(new TcpServer(app, cfg.workerThreads));
+        core::ServiceOptions sopts;
+        sopts.pinWorkers = cfg.pinWorkers;
+        server.reset(new TcpServer(app, cfg.workerThreads, 0, true,
+                                   port_opts_, sopts));
         if (!server->listening()) {
             TB_LOG_ERROR("networked harness: could not listen on "
                          "127.0.0.1");
@@ -574,9 +740,12 @@ NetworkedHarness::run(apps::App& app, const core::HarnessConfig& cfg)
     }
     PerRequestTcpTransport transport(host, port);
     core::LoadClient client;
-    const core::RunResult result = client.run(app, cfg, transport);
-    if (server)
+    core::RunResult result = client.run(app, cfg, transport);
+    if (server) {
         server->stop();
+        result.serviceWorkers = server->workers();
+        result.pinnedWorkers = server->pinnedWorkers();
+    }
     TB_LOG_DEBUG("networked run: app=%s offered=%.0f achieved=%.0f "
                  "qps p95=%.3f ms",
                  app.name().c_str(), cfg.qps, result.achievedQps,

@@ -28,6 +28,8 @@
  * sojourn is client-clock-only and valid either way.
  */
 
+#include <poll.h>
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -62,9 +64,18 @@ class TcpServer {
      * and the service workers. The harness-internal per-run servers
      * bind 127.0.0.1 only; pass loopbackOnly = false (tb_net_server)
      * to accept remote clients.
+     *
+     * @p portOpts selects the request-queue policy behind the workers
+     * (core/sharded_port.h): the default is the single shared queue;
+     * a sharded policy gives each worker its own shard, with requests
+     * placed by connection serial (Request::ctx), so one connection's
+     * stream stays on one worker. shards == 0 resolves to @p workers.
+     * @p svcOpts additionally pins workers / bounds the pop batch.
      */
     TcpServer(apps::App& app, unsigned workers, uint16_t port = 0,
-              bool loopbackOnly = true);
+              bool loopbackOnly = true,
+              const core::PortOptions& portOpts = {},
+              const core::ServiceOptions& svcOpts = {});
     ~TcpServer();
 
     TcpServer(const TcpServer&) = delete;
@@ -72,6 +83,10 @@ class TcpServer {
 
     bool listening() const { return listen_fd_ >= 0; }
     uint16_t port() const { return port_; }
+
+    /** Effective service concurrency, for RunResult accounting. */
+    unsigned workers() const;
+    unsigned pinnedWorkers() const;
 
     void start();
     /** Stops accepting, drains the request backlog, joins every
@@ -124,6 +139,44 @@ class TcpClientTransport final : public core::Transport {
 };
 
 /**
+ * Client transport over N persistent connections (TailBench++-style
+ * multi-client scaling): a single socket's frame serialization
+ * saturates long before the server does, so sendRequest round-robins
+ * requests across the connections and recvResponse multiplexes the
+ * collection across all of them with poll, restamping endNs at
+ * receipt. Pair the connection count with the server's worker count —
+ * connection serials are the sharded port's placement key, so N
+ * connections against N shards give every worker its own request
+ * stream end to end.
+ */
+class MultiConnTcpTransport final : public core::Transport {
+  public:
+    MultiConnTcpTransport(const std::string& host, uint16_t port,
+                          unsigned connections);
+    ~MultiConnTcpTransport() override;
+
+    /** True when every connection came up. */
+    bool connected() const;
+
+    void sendRequest(core::Request&& req) override;
+    bool recvResponse(core::Response& out) override;
+    void finishSend() override;
+
+  private:
+    std::vector<int> fds_;
+    /** Per-connection "response stream still open" flags;
+     * collector-thread-only. */
+    std::vector<bool> open_;
+    /** Reused poll set and its fds_ index map — recvResponse runs
+     * once per response on the latency hot path, so its scratch must
+     * not allocate per call; collector-thread-only. */
+    std::vector<struct pollfd> pfds_;
+    std::vector<size_t> idx_;
+    /** Generator-side round-robin cursor (generator-thread-only). */
+    size_t rr_ = 0;
+};
+
+/**
  * Client transport paying full per-request connection costs
  * (NetworkedHarness): sendRequest opens a fresh connection, writes
  * the frame and FIN, and queues the socket; recvResponse polls the
@@ -150,18 +203,41 @@ class PerRequestTcpTransport final : public core::Transport {
     std::vector<int> pending_;
 };
 
+/** Loopback configuration knobs (defaults reproduce the classic
+ * single-connection, single-queue loopback harness). */
+struct LoopbackOptions {
+    /** Client connections: 1 = the classic persistent socket; 0 = one
+     * per server worker (TailBench++-style multi-client load). */
+    unsigned connections = 1;
+    /** Server-side request-queue policy (shards == 0 resolves to the
+     * run's worker count). */
+    core::PortOptions port;
+};
+
 class LoopbackHarness final : public core::Harness {
   public:
+    LoopbackHarness() = default;
+    explicit LoopbackHarness(const LoopbackOptions& opts)
+        : opts_(opts)
+    {
+    }
+
     core::RunResult run(apps::App& app,
                         const core::HarnessConfig& cfg) override;
 
     std::string configName() const override { return "loopback"; }
+
+  private:
+    LoopbackOptions opts_;
 };
 
 class NetworkedHarness final : public core::Harness {
   public:
-    /** Reads TAILBENCH_NET_HOST / TAILBENCH_NET_PORT once. */
+    /** Reads TAILBENCH_NET_HOST / TAILBENCH_NET_PORT once. @p port
+     * selects the spawned in-process server's queue policy (unused
+     * against an external tb_net_server). */
     NetworkedHarness();
+    explicit NetworkedHarness(const core::PortOptions& port);
 
     core::RunResult run(apps::App& app,
                         const core::HarnessConfig& cfg) override;
@@ -171,6 +247,7 @@ class NetworkedHarness final : public core::Harness {
   private:
     std::string host_;
     uint16_t port_ = 0;  // 0 = spawn an in-process server per run
+    core::PortOptions port_opts_;
 };
 
 /** Connects a TCP socket (TCP_NODELAY) to host:port; -1 on failure.

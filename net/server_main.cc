@@ -5,7 +5,12 @@
  * or another machine (point the client at it with TAILBENCH_NET_HOST
  * / TAILBENCH_NET_PORT).
  *
- *   tb_net_server <app> [threads=1] [port=9960]
+ *   tb_net_server <app> [threads=1] [port=9960] [queue=single]
+ *
+ * queue selects the request-dispatch policy behind the workers:
+ * "single" (one shared queue), "sharded" (per-worker shards, batched
+ * pop, connection-affine placement) or "steal" (sharded + work
+ * stealing). Set TAILBENCH_PIN_WORKERS to pin worker w to CPU w.
  *
  * Dataset scale and seed come from TAILBENCH_SIZE / TAILBENCH_SEED —
  * they must match the client's settings or the request payloads will
@@ -25,7 +30,8 @@ main(int argc, char** argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s <app> [threads=1] [port=9960]\n",
+                     "usage: %s <app> [threads=1] [port=9960] "
+                     "[queue=single|sharded|steal]\n",
                      argv[0]);
         return 2;
     }
@@ -39,6 +45,23 @@ main(int argc, char** argv)
         if (port == 0)
             return 2;
     }
+    tb::core::PortOptions popts;
+    if (argc > 4) {
+        const std::string queue = argv[4];
+        if (queue == "sharded")
+            popts.policy = tb::core::QueuePolicy::kSharded;
+        else if (queue == "steal")
+            popts.policy = tb::core::QueuePolicy::kShardedSteal;
+        else if (queue != "single") {
+            std::fprintf(stderr,
+                         "tb_net_server: unknown queue policy \"%s\" "
+                         "(want single|sharded|steal)\n",
+                         queue.c_str());
+            return 2;
+        }
+    }
+    tb::core::ServiceOptions sopts;
+    sopts.pinWorkers = std::getenv("TAILBENCH_PIN_WORKERS") != nullptr;
 
     tb::apps::AppConfig cfg;
     if (const char* sz = std::getenv("TAILBENCH_SIZE"))
@@ -52,17 +75,19 @@ main(int argc, char** argv)
     // Unlike the harness-internal per-run servers, the standalone
     // server exists to be reached from other hosts.
     tb::net::TcpServer server(*app, threads, port,
-                              /*loopbackOnly=*/false);
+                              /*loopbackOnly=*/false, popts, sopts);
     if (!server.listening()) {
         std::fprintf(stderr, "tb_net_server: cannot listen on port %u\n",
                      static_cast<unsigned>(port));
         return 1;
     }
     server.start();
-    std::printf("tb_net_server: app=%s threads=%u port=%u "
-                "(sizeFactor=%.3g seed=%llu)\n",
+    std::printf("tb_net_server: app=%s threads=%u port=%u queue=%s "
+                "pinned=%u (sizeFactor=%.3g seed=%llu)\n",
                 app_name.c_str(), threads,
-                static_cast<unsigned>(server.port()), cfg.sizeFactor,
+                static_cast<unsigned>(server.port()),
+                tb::core::queuePolicyName(popts.policy),
+                server.pinnedWorkers(), cfg.sizeFactor,
                 static_cast<unsigned long long>(cfg.seed));
     std::fflush(stdout);
     for (;;)
