@@ -1,8 +1,11 @@
 #include "bench/common.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/methodology.h"
 #include "util/logging.h"
@@ -13,15 +16,40 @@ namespace tb::bench {
 BenchSettings
 BenchSettings::fromEnv()
 {
+    // Strict parsing: atof/atoll would coerce a malformed value to 0,
+    // and sizeFactor=0 silently degenerates every app's dataset (the
+    // whole suite "passes" while measuring nothing). Bad input keeps
+    // the default and warns instead.
     BenchSettings s;
-    if (const char* sz = std::getenv("TAILBENCH_SIZE"))
-        s.sizeFactor = std::atof(sz);
+    if (const char* sz = std::getenv("TAILBENCH_SIZE")) {
+        char* end = nullptr;
+        const double v = std::strtod(sz, &end);
+        if (end == sz || *end != '\0' || !std::isfinite(v) || v <= 0.0)
+            TB_LOG_WARN("TAILBENCH_SIZE=\"%s\" is not a positive "
+                        "number; keeping default %.3g",
+                        sz, s.sizeFactor);
+        else
+            s.sizeFactor = v;
+    }
     if (std::getenv("TAILBENCH_FAST"))
         s.fast = true;
     if (std::getenv("TAILBENCH_PIN_WORKERS"))
         s.pinWorkers = true;
-    if (const char* sd = std::getenv("TAILBENCH_SEED"))
-        s.seed = static_cast<uint64_t>(std::atoll(sd));
+    if (const char* sd = std::getenv("TAILBENCH_SEED")) {
+        // Reject '-' anywhere: strtoull skips leading whitespace and
+        // would wrap a negative value to a huge seed without setting
+        // errno (a trailing '-' already fails the *end check).
+        char* end = nullptr;
+        errno = 0;
+        const unsigned long long v = std::strtoull(sd, &end, 10);
+        if (end == sd || *end != '\0' || errno == ERANGE ||
+            std::strchr(sd, '-') != nullptr)
+            TB_LOG_WARN("TAILBENCH_SEED=\"%s\" is not an unsigned "
+                        "integer; keeping default %llu",
+                        sd, static_cast<unsigned long long>(s.seed));
+        else
+            s.seed = v;
+    }
     return s;
 }
 

@@ -22,6 +22,7 @@
 #include "bench/common.h"
 #include "queueing/mgn_sim.h"
 #include "sim/sim_harness.h"
+#include "util/logging.h"
 
 using namespace tb;
 
@@ -50,6 +51,20 @@ main()
         std::vector<int64_t> service;
         for (const auto& t : base.samples)
             service.push_back(t.serviceNs());
+        // Both divisors below can be zero for a degenerate base run
+        // (no samples, or an ideal-memory service time rounding to 0
+        // for a cheap kernel) — every column would print inf/nan.
+        if (service.empty() || base.latency.service.meanNs <= 0.0 ||
+            base.latency.sojourn.p95Ns <= 0) {
+            TB_LOG_WARN(
+                "fig8: degenerate ideal-memory base run for %s "
+                "(samples=%zu, mean service=%.3g ns, sojourn p95=%lld "
+                "ns); skipping app",
+                name.c_str(), service.size(),
+                base.latency.service.meanNs,
+                static_cast<long long>(base.latency.sojourn.p95Ns));
+            continue;
+        }
         const double sat1 =
             1e9 / base.latency.service.meanNs;
         const double norm =
@@ -92,6 +107,18 @@ main()
             std::printf("  %10.1f %10.2f %10.2f %14.2f %14.2f\n",
                         per_thread, cols[0], cols[1], cols[2], cols[3]);
         }
+        // Analytic Erlang-C cross-check of the model columns: M/M/n
+        // with service rate sat1 (= 1/E[S] per server). The M/G/n
+        // columns use the real service distribution, so they sit
+        // above this when the app's service times are heavier-tailed
+        // than exponential.
+        std::printf("  Erlang-C check (M/M/n, 50%% per-thread load): "
+                    "M/M/1 %.2f, M/M/4 %.2f (mean sojourn / low-load "
+                    "p95)\n",
+                    queueing::mmnSojournP(0.5 * sat1, sat1, 1) * 1e9 /
+                        norm,
+                    queueing::mmnSojournP(0.5 * sat1 * 4, sat1, 4) *
+                        1e9 / norm);
         std::printf("  reading: IdealMem(4T) ~ M/G/4 => memory-bound "
                     "degradation (paper: moses); IdealMem(4T) >> M/G/4 "
                     "=> synchronization-bound (paper: silo).\n");

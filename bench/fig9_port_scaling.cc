@@ -30,6 +30,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -38,6 +39,7 @@
 #include "bench/common.h"
 #include "core/integrated_harness.h"
 #include "net/server_harness.h"
+#include "util/logging.h"
 
 using namespace tb;
 
@@ -49,8 +51,31 @@ const core::QueuePolicy kPolicies[] = {
     core::QueuePolicy::kShardedSteal,
 };
 
-const char* const kTransports[] = {"in-process", "loopback-mc",
-                                   "per-request"};
+/** The per-request transport is dropped when TAILBENCH_NET_PORT
+ * points at an external server: NetworkedHarness then ignores the
+ * queue-policy options entirely (the external server's policy is
+ * fixed at its launch), so the three "policy" columns would be three
+ * noisy measurements of one identical configuration and the
+ * sharded-vs-single delta line would report host noise as a policy
+ * effect. */
+std::vector<std::string>
+transportsForEnv()
+{
+    std::vector<std::string> t = {"in-process", "loopback-mc"};
+    // Same validation as NetworkedHarness: an invalid port value
+    // makes it self-serve in-process (policy fully honored), so only
+    // a *usable* external port disables the sweep.
+    const char* env = std::getenv("TAILBENCH_NET_PORT");
+    if (env == nullptr ||
+        net::parsePort(env, "fig9 TAILBENCH_NET_PORT") == 0)
+        t.push_back("per-request");
+    else
+        TB_LOG_WARN(
+            "fig9: TAILBENCH_NET_PORT is set — skipping the "
+            "per-request transport (an external server's queue "
+            "policy cannot be swept from here)");
+    return t;
+}
 
 std::unique_ptr<core::Harness>
 makeHarness(const std::string& transport, core::QueuePolicy policy)
@@ -77,6 +102,7 @@ main()
     bench::printHeader(
         "Fig. 9: ServerPort scaling — workers x queue policy x "
         "transport");
+    const std::vector<std::string> transports = transportsForEnv();
 
     const std::vector<std::string> app_names = s.fast
         ? std::vector<std::string>{"silo"}
@@ -93,9 +119,9 @@ main()
                  std::map<core::QueuePolicy, std::map<unsigned, double>>>
             sat;
 
-        for (const char* transport : kTransports) {
+        for (const std::string& transport : transports) {
             std::printf("\n%s — %s transport%s\n", name.c_str(),
-                        transport,
+                        transport.c_str(),
                         s.pinWorkers ? " (workers pinned)" : "");
             std::printf("  %7s", "workers");
             for (core::QueuePolicy p : kPolicies)
@@ -130,7 +156,7 @@ main()
         std::printf("\n  sharded-vs-single saturation delta @%u "
                     "workers:",
                     wmax);
-        for (const char* transport : kTransports) {
+        for (const std::string& transport : transports) {
             const double single =
                 sat[transport][core::QueuePolicy::kSingleQueue][wmax];
             const double sharded =
@@ -139,11 +165,12 @@ main()
                 sat[transport]
                    [core::QueuePolicy::kShardedSteal][wmax];
             if (single > 0.0)
-                std::printf(" %s %+.0f%% (steal %+.0f%%)", transport,
+                std::printf(" %s %+.0f%% (steal %+.0f%%)",
+                            transport.c_str(),
                             100.0 * (sharded - single) / single,
                             100.0 * (steal - single) / single);
             else
-                std::printf(" %s n/a", transport);
+                std::printf(" %s n/a", transport.c_str());
         }
         std::printf("\n");
     }

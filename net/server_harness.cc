@@ -67,7 +67,10 @@ connectTcp(const std::string& host, uint16_t port)
 {
     struct addrinfo hints;
     std::memset(&hints, 0, sizeof(hints));
-    hints.ai_family = AF_INET;
+    // AF_UNSPEC, not AF_INET: on v6-first hosts `localhost` can
+    // resolve only to ::1, and pinning v4 made such hosts unreachable.
+    // The loop below already tries every returned family in order.
+    hints.ai_family = AF_UNSPEC;
     hints.ai_socktype = SOCK_STREAM;
     struct addrinfo* res = nullptr;
     const std::string port_str = std::to_string(port);
@@ -174,30 +177,73 @@ TcpServer::TcpServer(apps::App& app, unsigned workers, uint16_t port,
       service_(
           new core::ServiceLoop(*port_obj_, app, workers, svcOpts))
 {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    // Externally reachable servers (tb_net_server) listen dual-stack:
+    // an AF_INET6 socket bound to :: with IPV6_V6ONLY off accepts
+    // both ::1 (what `localhost` resolves to first on v6-first hosts)
+    // and, v4-mapped, any v4 address — so a remote client's first
+    // connect attempt succeeds whichever family its resolver prefers.
+    // Loopback-only in-process servers stay AF_INET: their own client
+    // transports dial 127.0.0.1, and a ::1-bound v6 socket would
+    // refuse v4 loopback (v4-mapped acceptance needs the :: bind).
+    // The fallback covers the whole v6 attempt — on hosts with v6
+    // disabled at runtime (disable_ipv6 sysctl, common in containers)
+    // socket(AF_INET6) still succeeds and only bind() fails, and that
+    // must land on the v4 path, not kill the server.
+    const auto tryListen = [&](bool v6) {
+        const int fd =
+            ::socket(v6 ? AF_INET6 : AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        struct sockaddr_storage addr;
+        std::memset(&addr, 0, sizeof(addr));
+        socklen_t len;
+        if (v6) {
+            int off = 0;
+            if (::setsockopt(fd, IPPROTO_IPV6, IPV6_V6ONLY, &off,
+                             sizeof(off)) != 0) {
+                ::close(fd);
+                return -1;
+            }
+            auto* a6 = reinterpret_cast<struct sockaddr_in6*>(&addr);
+            a6->sin6_family = AF_INET6;
+            a6->sin6_addr = in6addr_any;
+            a6->sin6_port = htons(port);
+            len = sizeof(struct sockaddr_in6);
+        } else {
+            auto* a4 = reinterpret_cast<struct sockaddr_in*>(&addr);
+            a4->sin_family = AF_INET;
+            a4->sin_addr.s_addr =
+                htonl(loopbackOnly ? INADDR_LOOPBACK : INADDR_ANY);
+            a4->sin_port = htons(port);
+            len = sizeof(struct sockaddr_in);
+        }
+        if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   len) != 0 ||
+            ::listen(fd, kListenBacklog) != 0) {
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    };
+    if (!loopbackOnly)
+        listen_fd_ = tryListen(/*v6=*/true);
+    if (listen_fd_ < 0)
+        listen_fd_ = tryListen(/*v6=*/false);
     if (listen_fd_ < 0)
         return;
-    int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
-                 sizeof(one));
-    struct sockaddr_in addr;
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr =
-        htonl(loopbackOnly ? INADDR_LOOPBACK : INADDR_ANY);
-    addr.sin_port = htons(port);
-    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(listen_fd_, kListenBacklog) != 0) {
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-        return;
-    }
+    struct sockaddr_storage addr;
     socklen_t len = sizeof(addr);
     if (::getsockname(listen_fd_,
                       reinterpret_cast<struct sockaddr*>(&addr),
                       &len) == 0)
-        port_ = ntohs(addr.sin_port);
+        port_ = ntohs(
+            addr.ss_family == AF_INET6
+                ? reinterpret_cast<struct sockaddr_in6*>(&addr)
+                      ->sin6_port
+                : reinterpret_cast<struct sockaddr_in*>(&addr)
+                      ->sin_port);
 }
 
 TcpServer::~TcpServer()
@@ -465,7 +511,9 @@ MultiConnTcpTransport::MultiConnTcpTransport(const std::string& host,
     fds_.reserve(n);
     for (unsigned c = 0; c < n; c++)
         fds_.push_back(connectTcp(host, port));
-    open_.assign(fds_.size(), true);
+    live_ = std::make_unique<std::atomic<bool>[]>(fds_.size());
+    for (size_t k = 0; k < fds_.size(); k++)
+        live_[k].store(fds_[k] >= 0, std::memory_order_relaxed);
     if (!connected())
         TB_LOG_ERROR("multi-conn transport: connect %u x %s:%u failed",
                      n, host.c_str(), static_cast<unsigned>(port));
@@ -492,15 +540,28 @@ MultiConnTcpTransport::connected() const
 void
 MultiConnTcpTransport::sendRequest(core::Request&& req)
 {
-    // Round-robin placement across the connections; the server's
-    // sharded port then keys on the connection serial, so with one
-    // connection per worker this is end-to-end request striping.
-    const int fd = fds_[rr_++ % fds_.size()];
-    if (fd < 0)
-        return;
-    FdStream stream(fd);
-    if (!sendRequestFrame(stream, req))
-        TB_LOG_WARN("multi-conn transport: request write failed");
+    // Round-robin placement across the *live* connections; the
+    // server's sharded port then keys on the connection serial, so
+    // with one connection per worker this is end-to-end request
+    // striping. Skipping retired slots keeps the full offered load on
+    // the surviving connections instead of silently dropping 1/N of
+    // it after one connection dies.
+    const size_t n = fds_.size();
+    for (size_t tries = 0; tries < n; tries++) {
+        const size_t k = rr_++ % n;
+        if (!live_[k].load(std::memory_order_relaxed))
+            continue;
+        FdStream stream(fds_[k]);
+        if (sendRequestFrame(stream, req))
+            return;
+        live_[k].store(false, std::memory_order_relaxed);
+        TB_LOG_WARN("multi-conn transport: request write failed; "
+                    "retiring connection %zu",
+                    k);
+    }
+    TB_LOG_WARN("multi-conn transport: no live connections; request "
+                "%llu dropped",
+                static_cast<unsigned long long>(req.id));
 }
 
 bool
@@ -510,7 +571,8 @@ MultiConnTcpTransport::recvResponse(core::Response& out)
         pfds_.clear();
         idx_.clear();
         for (size_t k = 0; k < fds_.size(); k++) {
-            if (!open_[k] || fds_[k] < 0)
+            if (!live_[k].load(std::memory_order_relaxed) ||
+                fds_[k] < 0)
                 continue;
             struct pollfd p;
             p.fd = fds_[k];
@@ -542,7 +604,8 @@ MultiConnTcpTransport::recvResponse(core::Response& out)
             if (res == WireResult::kBadFrame)
                 TB_LOG_WARN("multi-conn transport: malformed response "
                             "frame");
-            open_[idx_[k]] = false;  // EOF (or poisoned): retire it
+            // EOF (or poisoned): retire it.
+            live_[idx_[k]].store(false, std::memory_order_relaxed);
         }
     }
 }

@@ -164,9 +164,14 @@ class MultiConnTcpTransport final : public core::Transport {
 
   private:
     std::vector<int> fds_;
-    /** Per-connection "response stream still open" flags;
-     * collector-thread-only. */
-    std::vector<bool> open_;
+    /** Per-connection liveness, shared between the two transport
+     * threads: the collector clears a slot on EOF / poisoned stream,
+     * the generator clears it on a write failure, and the round-robin
+     * send skips dead slots so one retired connection does not
+     * silently swallow 1/N of the offered load. Relaxed atomics —
+     * liveness is advisory; a stale read only writes one more frame
+     * to a dead socket, which fails the same graceful way. */
+    std::unique_ptr<std::atomic<bool>[]> live_;
     /** Reused poll set and its fds_ index map — recvResponse runs
      * once per response on the latency hot path, so its scratch must
      * not allocate per call; collector-thread-only. */

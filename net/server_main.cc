@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench/common.h"
 #include "net/server_harness.h"
 
 int
@@ -60,14 +61,18 @@ main(int argc, char** argv)
             return 2;
         }
     }
+    // Same strict TAILBENCH_SIZE/TAILBENCH_SEED parsing as the bench
+    // drivers: the server's dataset must match the client's, so a
+    // malformed value has to warn and keep the shared default here
+    // too, not silently become 0 on one side of the connection.
+    const tb::bench::BenchSettings bs =
+        tb::bench::BenchSettings::fromEnv();
     tb::core::ServiceOptions sopts;
-    sopts.pinWorkers = std::getenv("TAILBENCH_PIN_WORKERS") != nullptr;
+    sopts.pinWorkers = bs.pinWorkers;
 
     tb::apps::AppConfig cfg;
-    if (const char* sz = std::getenv("TAILBENCH_SIZE"))
-        cfg.sizeFactor = std::atof(sz);
-    if (const char* sd = std::getenv("TAILBENCH_SEED"))
-        cfg.seed = static_cast<uint64_t>(std::atoll(sd));
+    cfg.sizeFactor = bs.sizeFactor;
+    cfg.seed = bs.seed;
 
     auto app = tb::apps::makeApp(app_name);
     app->init(cfg);
