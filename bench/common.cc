@@ -216,4 +216,174 @@ fmtQpsCell(const core::RunResult& r, double qps)
     return cell;
 }
 
+// ------------------------------------------------------------ JsonWriter
+
+void
+JsonWriter::comma()
+{
+    if (first_.empty())
+        return;
+    if (!first_.back())
+        out_ += ',';
+    first_.back() = false;
+}
+
+void
+JsonWriter::writeKey(const char* key)
+{
+    if (key == nullptr)
+        return;
+    writeEscaped(key);
+    out_ += ':';
+}
+
+void
+JsonWriter::writeEscaped(const std::string& v)
+{
+    out_ += '"';
+    for (const char c : v) {
+        switch (c) {
+        case '"':
+            out_ += "\\\"";
+            break;
+        case '\\':
+            out_ += "\\\\";
+            break;
+        case '\n':
+            out_ += "\\n";
+            break;
+        case '\t':
+            out_ += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out_ += buf;
+            } else {
+                out_ += c;
+            }
+        }
+    }
+    out_ += '"';
+}
+
+JsonWriter&
+JsonWriter::beginObject(const char* key)
+{
+    comma();
+    writeKey(key);
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    out_ += '}';
+    if (!first_.empty())
+        first_.pop_back();
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray(const char* key)
+{
+    comma();
+    writeKey(key);
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    out_ += ']';
+    if (!first_.empty())
+        first_.pop_back();
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::str(const char* key, const std::string& v)
+{
+    comma();
+    writeKey(key);
+    writeEscaped(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::num(const char* key, double v)
+{
+    comma();
+    writeKey(key);
+    char buf[40];
+    // NaN/Inf are not JSON; a failed measurement must not produce an
+    // unparseable report.
+    if (std::isfinite(v))
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+    else
+        std::snprintf(buf, sizeof(buf), "null");
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::boolean(const char* key, bool v)
+{
+    comma();
+    writeKey(key);
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::str(const std::string& v)
+{
+    return str(nullptr, v);
+}
+
+JsonWriter&
+JsonWriter::num(double v)
+{
+    return num(nullptr, v);
+}
+
+std::string
+gitRevision()
+{
+    FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (p == nullptr)
+        return "unknown";
+    char buf[64] = {0};
+    const bool got = std::fgets(buf, sizeof(buf), p) != nullptr;
+    ::pclose(p);
+    if (!got)
+        return "unknown";
+    std::string rev = buf;
+    while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r'))
+        rev.pop_back();
+    return rev.empty() ? "unknown" : rev;
+}
+
+bool
+writeTextFile(const std::string& path, const std::string& text)
+{
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        TB_LOG_WARN("cannot write %s: %s", path.c_str(),
+                    std::strerror(errno));
+        return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (!ok)
+        TB_LOG_WARN("short write to %s", path.c_str());
+    return ok;
+}
+
 }  // namespace tb::bench

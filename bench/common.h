@@ -113,6 +113,50 @@ std::string fmtP95Cell(const core::RunResult& r, double qps);
  * side of the comparison was below nominal. */
 std::string fmtQpsCell(const core::RunResult& r, double qps);
 
+/**
+ * Minimal streaming JSON writer for machine-readable bench reports
+ * (BENCH_<fig>.json): run config + git rev + per-point percentiles,
+ * so perf regressions show up as diffable numbers instead of only in
+ * eyeballed tables. Containers nest via begin/end pairs; inside an
+ * object use the keyed emitters, inside an array the unkeyed ones.
+ * Numbers are JSON doubles (%.12g) — every count and nanosecond
+ * percentile the drivers report fits losslessly below 2^53.
+ */
+class JsonWriter {
+  public:
+    JsonWriter& beginObject(const char* key = nullptr);
+    JsonWriter& endObject();
+    JsonWriter& beginArray(const char* key = nullptr);
+    JsonWriter& endArray();
+    JsonWriter& str(const char* key, const std::string& v);
+    JsonWriter& num(const char* key, double v);
+    JsonWriter& boolean(const char* key, bool v);
+    /** Unkeyed variants, for array elements. */
+    JsonWriter& str(const std::string& v);
+    JsonWriter& num(double v);
+
+    /** The document so far; call after the outermost end. */
+    const std::string& text() const { return out_; }
+
+  private:
+    void comma();
+    void writeKey(const char* key);
+    void writeEscaped(const std::string& v);
+
+    std::string out_;
+    /** Per-open-container flag: is the next element the first? */
+    std::vector<bool> first_;
+};
+
+/** `git rev-parse --short HEAD` of the working tree, or "unknown" —
+ * the one line that ties a BENCH_*.json to the code that produced
+ * it. */
+std::string gitRevision();
+
+/** Writes @p text to @p path (truncating); warns and returns false on
+ * failure — a bench run must not die on a read-only results dir. */
+bool writeTextFile(const std::string& path, const std::string& text);
+
 }  // namespace tb::bench
 
 #endif  // TAILBENCH_BENCH_COMMON_H_

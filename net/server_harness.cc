@@ -20,13 +20,19 @@ namespace tb::net {
 
 namespace {
 
-/** Connection-reader pool size. Persistent connections occupy a
- * reader for their whole lifetime, one-shot connections only while
- * their single frame is read; four readers keep an external server
- * responsive with a couple of persistent clients attached. */
+/** Initial connection-reader pool size. Persistent connections occupy
+ * a reader for their whole lifetime, one-shot connections only while
+ * their single frame is read; the accept loop grows the pool whenever
+ * live connections outnumber readers, so the threads backend is a
+ * true thread-per-connection server at any scale (and fig10 measures
+ * exactly that growth against the reactor's fixed pool). */
 constexpr unsigned kConnReaders = 4;
 
-constexpr int kListenBacklog = 1024;
+/** SOMAXCONN, not a hand-picked constant: fig10 opens thousands of
+ * connections back-to-back, and a shorter backlog drops SYNs before
+ * the sweep starts. The kernel clamps to net.core.somaxconn either
+ * way. */
+constexpr int kListenBacklog = SOMAXCONN;
 
 void
 setNoDelay(int fd)
@@ -172,8 +178,10 @@ class TcpServer::Port final : public core::ServerPort {
 TcpServer::TcpServer(apps::App& app, unsigned workers, uint16_t port,
                      bool loopbackOnly,
                      const core::PortOptions& portOpts,
-                     const core::ServiceOptions& svcOpts)
-    : port_obj_(new Port(*this, core::resolveShards(portOpts, workers))),
+                     const core::ServiceOptions& svcOpts,
+                     const IoOptions& io)
+    : io_(io),
+      port_obj_(new Port(*this, core::resolveShards(portOpts, workers))),
       service_(
           new core::ServiceLoop(*port_obj_, app, workers, svcOpts))
 {
@@ -233,6 +241,17 @@ TcpServer::TcpServer(apps::App& app, unsigned workers, uint16_t port,
         listen_fd_ = tryListen(/*v6=*/false);
     if (listen_fd_ < 0)
         return;
+    if (io_.mode == IoMode::kReactor) {
+        reactor_pool_ = std::make_unique<ReactorPool>(
+            port_obj_->pool_, io_.reactors);
+        if (reactor_pool_->reactorCount() == 0) {
+            // epoll/eventfd setup failed — refuse to half-start.
+            TB_LOG_ERROR("tcp server: reactor backend unavailable");
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            return;
+        }
+    }
     struct sockaddr_storage addr;
     socklen_t len = sizeof(addr);
     if (::getsockname(listen_fd_,
@@ -265,6 +284,12 @@ TcpServer::pinnedWorkers() const
     return service_->pinnedWorkers();
 }
 
+unsigned
+TcpServer::reactorCount() const
+{
+    return reactor_pool_ ? reactor_pool_->reactorCount() : 0;
+}
+
 void
 TcpServer::start()
 {
@@ -272,6 +297,10 @@ TcpServer::start()
         return;
     started_ = true;
     service_->start();
+    if (reactor_pool_) {
+        reactor_pool_->start(listen_fd_);
+        return;
+    }
     for (unsigned r = 0; r < kConnReaders; r++)
         reader_threads_.emplace_back([this] { readerLoop(); });
     accept_thread_ = std::thread([this] { acceptLoop(); });
@@ -283,6 +312,20 @@ TcpServer::stop()
     if (!started_)
         return;
     started_ = false;
+
+    if (reactor_pool_) {
+        // Same strictly downstream order as below, reactor-shaped:
+        // beginShutdown returns only once no reactor will push into
+        // the pool again, so closing the pool cannot race a push;
+        // finish() after the workers drain flushes the responses
+        // those workers produced.
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        reactor_pool_->beginShutdown();
+        port_obj_->pool_.close();
+        service_->join();
+        reactor_pool_->finish();
+        return;
+    }
 
     // Wake accept(), then the readers, then the workers — strictly
     // downstream order, so every queued request still drains.
@@ -349,6 +392,15 @@ TcpServer::acceptLoop()
             std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
             port_obj_->routes_[conn->serial] = conn;
         }
+        // Elastic thread-per-connection: keep readers >= live
+        // connections, since a persistent connection pins its reader
+        // until close. Spawn *before* queueing the connection so it
+        // can never wait behind N busy readers. Only this thread
+        // grows the pool, and stop() joins it before joining the
+        // readers, so the vector needs no lock.
+        const size_t live = ++conns_live_;
+        while (reader_threads_.size() < live)
+            reader_threads_.emplace_back([this] { readerLoop(); });
         pending_.push(std::move(conn));
     }
 }
@@ -397,6 +449,10 @@ TcpServer::readConnection(const std::shared_ptr<Conn>& conn)
 void
 TcpServer::sendResponse(const core::Response& resp)
 {
+    if (reactor_pool_) {
+        reactor_pool_->postResponse(resp);
+        return;
+    }
     std::shared_ptr<Conn> conn;
     {
         std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
@@ -443,6 +499,7 @@ TcpServer::closeConn(const std::shared_ptr<Conn>& conn)
         std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
         port_obj_->routes_.erase(conn->serial);
     }
+    conns_live_--;
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.erase(conn);
 }
@@ -717,7 +774,8 @@ LoopbackHarness::run(apps::App& app, const core::HarnessConfig& cfg)
         cfg.workerThreads == 0 ? 1 : cfg.workerThreads;
     core::ServiceOptions sopts;
     sopts.pinWorkers = cfg.pinWorkers;
-    TcpServer server(app, workers, 0, true, opts_.port, sopts);
+    TcpServer server(app, workers, 0, true, opts_.port, sopts,
+                     ioOptionsFromEnv());
     if (!server.listening()) {
         TB_LOG_ERROR("loopback harness: could not listen on "
                      "127.0.0.1");
@@ -791,7 +849,8 @@ NetworkedHarness::run(apps::App& app, const core::HarnessConfig& cfg)
         core::ServiceOptions sopts;
         sopts.pinWorkers = cfg.pinWorkers;
         server.reset(new TcpServer(app, cfg.workerThreads, 0, true,
-                                   port_opts_, sopts));
+                                   port_opts_, sopts,
+                                   ioOptionsFromEnv()));
         if (!server->listening()) {
             TB_LOG_ERROR("networked harness: could not listen on "
                          "127.0.0.1");

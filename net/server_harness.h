@@ -44,6 +44,7 @@
 #include "core/harness.h"
 #include "core/service.h"
 #include "core/transport.h"
+#include "net/reactor.h"
 
 namespace tb::net {
 
@@ -71,11 +72,21 @@ class TcpServer {
      * placed by connection serial (Request::ctx), so one connection's
      * stream stays on one worker. shards == 0 resolves to @p workers.
      * @p svcOpts additionally pins workers / bounds the pop batch.
+     *
+     * @p io selects the connection-IO backend (net/reactor.h): the
+     * default spawns one reader thread per live connection (readers
+     * grow elastically with the accepted-connection count, so the
+     * thread cost of N persistent clients is N threads — the
+     * baseline fig10 measures); kReactor serves every connection
+     * from a fixed pool of epoll event loops instead. The harnesses
+     * pass ioOptionsFromEnv(), so TAILBENCH_IO_MODE flips every
+     * existing driver.
      */
     TcpServer(apps::App& app, unsigned workers, uint16_t port = 0,
               bool loopbackOnly = true,
               const core::PortOptions& portOpts = {},
-              const core::ServiceOptions& svcOpts = {});
+              const core::ServiceOptions& svcOpts = {},
+              const IoOptions& io = {});
     ~TcpServer();
 
     TcpServer(const TcpServer&) = delete;
@@ -87,6 +98,10 @@ class TcpServer {
     /** Effective service concurrency, for RunResult accounting. */
     unsigned workers() const;
     unsigned pinnedWorkers() const;
+
+    IoMode ioMode() const { return io_.mode; }
+    /** Event-loop threads actually running (0 under kThreads). */
+    unsigned reactorCount() const;
 
     void start();
     /** Stops accepting, drains the request backlog, joins every
@@ -106,12 +121,20 @@ class TcpServer {
     int listen_fd_ = -1;
     uint16_t port_ = 0;
     bool started_ = false;
+    IoOptions io_;
     std::atomic<uint64_t> next_serial_{1};
 
     std::unique_ptr<Port> port_obj_;
     std::unique_ptr<core::ServiceLoop> service_;
+    /** Event-loop backend; null under kThreads. */
+    std::unique_ptr<ReactorPool> reactor_pool_;
     std::thread accept_thread_;
     std::vector<std::thread> reader_threads_;
+    /** Live accepted connections — the accept loop spawns a reader
+     * whenever readers < live, so persistent connections (which pin
+     * a reader each for their whole life) can never starve newly
+     * accepted ones. */
+    std::atomic<size_t> conns_live_{0};
 
     /** Accepted connections awaiting a reader. */
     core::BlockingQueue<std::shared_ptr<Conn>> pending_;

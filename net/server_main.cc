@@ -6,11 +6,17 @@
  * / TAILBENCH_NET_PORT).
  *
  *   tb_net_server <app> [threads=1] [port=9960] [queue=single]
+ *                 [io=threads]
  *
  * queue selects the request-dispatch policy behind the workers:
  * "single" (one shared queue), "sharded" (per-worker shards, batched
  * pop, connection-affine placement) or "steal" (sharded + work
  * stealing). Set TAILBENCH_PIN_WORKERS to pin worker w to CPU w.
+ *
+ * io selects the connection-IO backend: "threads" (one reader thread
+ * per live connection) or "reactor" (fixed pool of epoll event loops;
+ * TAILBENCH_REACTORS sizes it) — the knob behind fig10's
+ * connection-scaling comparison.
  *
  * Dataset scale and seed come from TAILBENCH_SIZE / TAILBENCH_SEED —
  * they must match the client's settings or the request payloads will
@@ -32,7 +38,8 @@ main(int argc, char** argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: %s <app> [threads=1] [port=9960] "
-                     "[queue=single|sharded|steal]\n",
+                     "[queue=single|sharded|steal] "
+                     "[io=threads|reactor]\n",
                      argv[0]);
         return 2;
     }
@@ -61,6 +68,24 @@ main(int argc, char** argv)
             return 2;
         }
     }
+    // The positional arg wins over the environment so one shell can
+    // run both backends side by side; TAILBENCH_REACTORS still sizes
+    // the pool either way.
+    tb::net::IoOptions io = tb::net::ioOptionsFromEnv();
+    if (argc > 5) {
+        const std::string mode = argv[5];
+        if (mode == "reactor")
+            io.mode = tb::net::IoMode::kReactor;
+        else if (mode == "threads")
+            io.mode = tb::net::IoMode::kThreads;
+        else {
+            std::fprintf(stderr,
+                         "tb_net_server: unknown io mode \"%s\" "
+                         "(want threads|reactor)\n",
+                         mode.c_str());
+            return 2;
+        }
+    }
     // Same strict TAILBENCH_SIZE/TAILBENCH_SEED parsing as the bench
     // drivers: the server's dataset must match the client's, so a
     // malformed value has to warn and keep the shared default here
@@ -80,7 +105,8 @@ main(int argc, char** argv)
     // Unlike the harness-internal per-run servers, the standalone
     // server exists to be reached from other hosts.
     tb::net::TcpServer server(*app, threads, port,
-                              /*loopbackOnly=*/false, popts, sopts);
+                              /*loopbackOnly=*/false, popts, sopts,
+                              io);
     if (!server.listening()) {
         std::fprintf(stderr, "tb_net_server: cannot listen on port %u\n",
                      static_cast<unsigned>(port));
@@ -88,11 +114,14 @@ main(int argc, char** argv)
     }
     server.start();
     std::printf("tb_net_server: app=%s threads=%u port=%u queue=%s "
-                "pinned=%u (sizeFactor=%.3g seed=%llu)\n",
+                "io=%s reactors=%u pinned=%u (sizeFactor=%.3g "
+                "seed=%llu)\n",
                 app_name.c_str(), threads,
                 static_cast<unsigned>(server.port()),
                 tb::core::queuePolicyName(popts.policy),
-                server.pinnedWorkers(), cfg.sizeFactor,
+                tb::net::ioModeName(server.ioMode()),
+                server.reactorCount(), server.pinnedWorkers(),
+                cfg.sizeFactor,
                 static_cast<unsigned long long>(cfg.seed));
     std::fflush(stdout);
     for (;;)

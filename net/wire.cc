@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -10,8 +11,13 @@ namespace tb::net {
 
 namespace {
 
-constexpr size_t kReqHeaderBytes = 4 + 4 + 8 + 8;
-constexpr size_t kRespHeaderBytes = 4 + 4 + 8 + 8 + 8 + 8 + 8;
+constexpr size_t kReqHeaderBytes = kRequestHeaderBytes;
+constexpr size_t kRespHeaderBytes = kResponseFrameBytes;
+
+static_assert(kReqHeaderBytes == 4 + 4 + 8 + 8,
+              "request header layout changed");
+static_assert(kRespHeaderBytes == 4 + 4 + 8 + 8 + 8 + 8 + 8,
+              "response frame layout changed");
 
 void
 put32(uint8_t* p, uint32_t v)
@@ -64,6 +70,40 @@ readExact(ByteStream& s, uint8_t* buf, size_t len)
     }
     return WireResult::kOk;
 }
+
+/** Read-only ByteStream over a byte window — adapts a reactor's input
+ * buffer to the stream decoders once a full frame is known present. */
+class BufStream final : public ByteStream {
+  public:
+    BufStream(const uint8_t* data, size_t len)
+        : data_(data), len_(len)
+    {
+    }
+
+    ssize_t
+    readSome(void* buf, size_t len) override
+    {
+        const size_t n = std::min(len, len_ - pos_);
+        if (n == 0)
+            return 0;  // EOF: window exhausted
+        std::memcpy(buf, data_ + pos_, n);
+        pos_ += n;
+        return static_cast<ssize_t>(n);
+    }
+
+    ssize_t
+    writeSome(const void*, size_t) override
+    {
+        return -1;  // read-only
+    }
+
+    size_t consumed() const { return pos_; }
+
+  private:
+    const uint8_t* data_;
+    size_t len_;
+    size_t pos_ = 0;
+};
 
 }  // namespace
 
@@ -126,17 +166,23 @@ recvRequestFrame(ByteStream& s, core::Request& out)
     return WireResult::kOk;
 }
 
+void
+encodeResponseFrame(uint8_t* out, const core::Response& resp)
+{
+    put32(out, kResponseMagic);
+    put32(out + 4, 0);
+    put64(out + 8, resp.id);
+    put64(out + 16, resp.checksum);
+    put64(out + 24, static_cast<uint64_t>(resp.timing.genNs));
+    put64(out + 32, static_cast<uint64_t>(resp.timing.startNs));
+    put64(out + 40, static_cast<uint64_t>(resp.timing.endNs));
+}
+
 bool
 sendResponseFrame(ByteStream& s, const core::Response& resp)
 {
     uint8_t hdr[kRespHeaderBytes];
-    put32(hdr, kResponseMagic);
-    put32(hdr + 4, 0);
-    put64(hdr + 8, resp.id);
-    put64(hdr + 16, resp.checksum);
-    put64(hdr + 24, static_cast<uint64_t>(resp.timing.genNs));
-    put64(hdr + 32, static_cast<uint64_t>(resp.timing.startNs));
-    put64(hdr + 40, static_cast<uint64_t>(resp.timing.endNs));
+    encodeResponseFrame(hdr, resp);
     return writeFull(s, hdr, sizeof(hdr));
 }
 
@@ -156,6 +202,46 @@ recvResponseFrame(ByteStream& s, core::Response& out)
     out.timing.startNs = static_cast<int64_t>(get64(hdr + 32));
     out.timing.endNs = static_cast<int64_t>(get64(hdr + 40));
     return WireResult::kOk;
+}
+
+DecodeResult
+tryDecodeRequestFrame(const uint8_t* data, size_t len,
+                      core::Request& out, size_t& consumed)
+{
+    // Validate as early as the bytes allow: a bad magic or oversized
+    // length must poison the connection before the peer's claimed
+    // payload is buffered, not after.
+    if (len >= 4 && get32(data) != kRequestMagic)
+        return DecodeResult::kBadFrame;
+    if (len >= 8 && get32(data + 4) > kMaxPayloadBytes)
+        return DecodeResult::kBadFrame;
+    if (len < kRequestHeaderBytes)
+        return DecodeResult::kNeedMore;
+    const size_t total = kRequestHeaderBytes + get32(data + 4);
+    if (len < total)
+        return DecodeResult::kNeedMore;
+    // A full frame is present: decode it through the stream-tested
+    // path, which cannot see EOF mid-frame by construction.
+    BufStream s(data, total);
+    if (recvRequestFrame(s, out) != WireResult::kOk)
+        return DecodeResult::kBadFrame;
+    consumed = s.consumed();
+    return DecodeResult::kFrame;
+}
+
+DecodeResult
+tryDecodeResponseFrame(const uint8_t* data, size_t len,
+                       core::Response& out, size_t& consumed)
+{
+    if (len >= 4 && get32(data) != kResponseMagic)
+        return DecodeResult::kBadFrame;
+    if (len < kResponseFrameBytes)
+        return DecodeResult::kNeedMore;
+    BufStream s(data, kResponseFrameBytes);
+    if (recvResponseFrame(s, out) != WireResult::kOk)
+        return DecodeResult::kBadFrame;
+    consumed = s.consumed();
+    return DecodeResult::kFrame;
 }
 
 ssize_t

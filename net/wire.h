@@ -71,6 +71,51 @@ WireResult recvRequestFrame(ByteStream& s, core::Request& out);
 bool sendResponseFrame(ByteStream& s, const core::Response& resp);
 WireResult recvResponseFrame(ByteStream& s, core::Response& out);
 
+// --- Buffer-based (nonblocking) variants, for event-loop IO --------
+//
+// A reactor cannot block in readExact: its socket delivers whatever
+// bytes the kernel has, cut anywhere — possibly mid-header. These
+// entry points frame over an in-memory byte window instead of a
+// ByteStream, reusing the exact same decode path (the window is
+// adapted to a ByteStream internally), so the stream-tested framing
+// semantics and the incremental ones cannot drift apart.
+
+/** Request frame header size (magic + payloadLen + id + genNs). */
+inline constexpr size_t kRequestHeaderBytes = 24;
+/** Full response frame size — responses carry no variable payload. */
+inline constexpr size_t kResponseFrameBytes = 48;
+
+enum class DecodeResult {
+    /** The window does not yet hold one full frame; read more. */
+    kNeedMore,
+    /** One frame decoded; @p consumed bytes were used. */
+    kFrame,
+    /** Bad magic or oversized payload — the connection is poisoned
+     * (byte-stream framing cannot resynchronize). */
+    kBadFrame,
+};
+
+/**
+ * Attempts to decode one request frame from the first @p len bytes of
+ * @p data. Validates the magic and payload bound as soon as enough
+ * bytes exist to check them, so a hostile or corrupt peer is rejected
+ * before its claimed payload is buffered. On kFrame, @p consumed is
+ * the frame's total size (data beyond it is the next frame's).
+ */
+DecodeResult tryDecodeRequestFrame(const uint8_t* data, size_t len,
+                                   core::Request& out,
+                                   size_t& consumed);
+
+/** Same, for the client side of an event-loop transport. */
+DecodeResult tryDecodeResponseFrame(const uint8_t* data, size_t len,
+                                    core::Response& out,
+                                    size_t& consumed);
+
+/** Serializes @p resp into a caller buffer of kResponseFrameBytes —
+ * the reactor write path encodes into per-task fixed storage instead
+ * of allocating a stream per response. */
+void encodeResponseFrame(uint8_t* out, const core::Response& resp);
+
 /** ByteStream over a *connected socket* (writes use send() with
  * MSG_NOSIGNAL, so a dead peer is an error return, not a fatal
  * SIGPIPE); retries EINTR, does not own the fd. */

@@ -5,7 +5,11 @@
 
 #include "net/wire.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <set>
@@ -16,6 +20,7 @@
 #include "core/methodology.h"
 #include "net/server_harness.h"
 #include "util/clock.h"
+#include "util/stats.h"
 
 #include "tests/test_util.h"
 
@@ -215,6 +220,117 @@ main()
               WireResult::kBadFrame);
     }
 
+    // Incremental (buffer-window) decode under adversarial chunking:
+    // the reactor's read path sees frames cut anywhere, including
+    // mid-header. Feeding the window one byte at a time must return
+    // kNeedMore at every prefix and decode exactly at the boundary.
+    {
+        MemStream s(64, 64);
+        Request in;
+        in.id = 0xabcdef0123456789ull;
+        in.payload = "incremental decode";
+        in.genNs = -777;
+        CHECK(tb::net::sendRequestFrame(s, in));
+        const std::vector<uint8_t>& bytes = s.data_;
+        Request out;
+        size_t consumed = 0;
+        for (size_t len = 0; len < bytes.size(); len++)
+            CHECK(tb::net::tryDecodeRequestFrame(bytes.data(), len,
+                                                 out, consumed) ==
+                  tb::net::DecodeResult::kNeedMore);
+        CHECK(tb::net::tryDecodeRequestFrame(bytes.data(),
+                                             bytes.size(), out,
+                                             consumed) ==
+              tb::net::DecodeResult::kFrame);
+        CHECK_EQ(consumed, bytes.size());
+        CHECK_EQ(out.id, in.id);
+        CHECK(out.payload == in.payload);
+        CHECK_EQ(out.genNs, in.genNs);
+    }
+
+    // Randomized-split streams: many frames concatenated, consumed
+    // from windows whose growth is random — every frame must come out
+    // intact and in order regardless of where the cuts fall.
+    {
+        MemStream s(1 << 20, 1 << 20);
+        constexpr uint64_t kFrames = 50;
+        tb::util::Rng rng(99);
+        for (uint64_t i = 0; i < kFrames; i++) {
+            Request in;
+            in.id = i;
+            in.payload = std::string(
+                static_cast<size_t>(rng.next() % 700), 'a' + i % 26);
+            in.genNs = static_cast<int64_t>(i) * 3 - 10;
+            CHECK(tb::net::sendRequestFrame(s, in));
+        }
+        const std::vector<uint8_t>& bytes = s.data_;
+        size_t avail = 0;  // how much of the stream has "arrived"
+        size_t head = 0;   // consumed prefix
+        uint64_t next_id = 0;
+        while (next_id < kFrames) {
+            if (avail < bytes.size())
+                avail += std::min(bytes.size() - avail,
+                                  1 + static_cast<size_t>(
+                                          rng.next() % 97));
+            for (;;) {
+                Request out;
+                size_t consumed = 0;
+                const tb::net::DecodeResult dr =
+                    tb::net::tryDecodeRequestFrame(
+                        bytes.data() + head, avail - head, out,
+                        consumed);
+                if (dr != tb::net::DecodeResult::kFrame)
+                    break;
+                CHECK_EQ(out.id, next_id);
+                CHECK_EQ(out.genNs,
+                         static_cast<int64_t>(next_id) * 3 - 10);
+                head += consumed;
+                next_id++;
+            }
+        }
+        CHECK_EQ(head, bytes.size());
+    }
+
+    // The incremental decoder rejects hostile prefixes as early as the
+    // bytes allow: bad magic at 4 bytes, oversized claim at 8 — before
+    // any payload is buffered. Responses decode incrementally too.
+    {
+        uint8_t bad[8] = {0};
+        Request out;
+        size_t consumed = 0;
+        CHECK(tb::net::tryDecodeRequestFrame(bad, 4, out, consumed) ==
+              tb::net::DecodeResult::kBadFrame);
+        const uint32_t magic = tb::net::kRequestMagic;
+        const uint32_t huge = tb::net::kMaxPayloadBytes + 1;
+        std::memcpy(bad, &magic, 4);
+        std::memcpy(bad + 4, &huge, 4);
+        CHECK(tb::net::tryDecodeRequestFrame(bad, 8, out, consumed) ==
+              tb::net::DecodeResult::kBadFrame);
+
+        MemStream s(64, 64);
+        Response rin;
+        rin.id = 55;
+        rin.checksum = 0x1234;
+        rin.timing.genNs = 10;
+        rin.timing.startNs = 20;
+        rin.timing.endNs = 30;
+        CHECK(tb::net::sendResponseFrame(s, rin));
+        CHECK_EQ(s.data_.size(), tb::net::kResponseFrameBytes);
+        Response rout;
+        for (size_t len = 0; len < s.data_.size(); len++)
+            CHECK(tb::net::tryDecodeResponseFrame(s.data_.data(), len,
+                                                  rout, consumed) ==
+                  tb::net::DecodeResult::kNeedMore);
+        CHECK(tb::net::tryDecodeResponseFrame(s.data_.data(),
+                                              s.data_.size(), rout,
+                                              consumed) ==
+              tb::net::DecodeResult::kFrame);
+        CHECK_EQ(consumed, s.data_.size());
+        CHECK_EQ(rout.id, rin.id);
+        CHECK_EQ(rout.checksum, rin.checksum);
+        CHECK_EQ(rout.timing.endNs, rin.timing.endNs);
+    }
+
     // One request through the real TCP stack: TcpServer running the
     // shared service loop, a persistent-connection client transport,
     // server-side start/end stamps and a client-side endNs restamp.
@@ -311,17 +427,37 @@ main()
         cfg.seed = 42;
         cfg.keepSamples = true;
 
-        const RunResult ri = integrated.run(*app, cfg);
-        const RunResult rl = loopback.run(*app, cfg);
-        CHECK_EQ(rl.latency.sojourn.count,
-                 static_cast<uint64_t>(400));
-        CHECK_EQ(rl.samples.size(), static_cast<size_t>(400));
-        checkTimingInvariants(rl);
-        CHECK_NEAR(rl.achievedQps, ri.achievedQps, 0.20);
-        // Sockets cost something: loopback mean sojourn is not
-        // *faster* than integrated by more than noise.
-        CHECK(rl.latency.sojourn.meanNs >
-              0.5 * ri.latency.sojourn.meanNs);
+        // Any single pair of timed runs on a shared host can be
+        // ruined by a scheduler preemption; compare medians over
+        // repeated runs (the same answer to measurement noise the
+        // bench layer's measureAtRobust uses). The per-run structural
+        // invariants stay exact and are checked on every run.
+        std::vector<double> qps_i;
+        std::vector<double> qps_l;
+        std::vector<double> p50_i;
+        std::vector<double> p50_l;
+        for (unsigned rep = 0; rep < 3; rep++) {
+            cfg.seed = 42 + rep;
+            const RunResult ri = integrated.run(*app, cfg);
+            const RunResult rl = loopback.run(*app, cfg);
+            CHECK_EQ(rl.latency.sojourn.count,
+                     static_cast<uint64_t>(400));
+            CHECK_EQ(rl.samples.size(), static_cast<size_t>(400));
+            checkTimingInvariants(rl);
+            qps_i.push_back(ri.achievedQps);
+            qps_l.push_back(rl.achievedQps);
+            p50_i.push_back(
+                static_cast<double>(ri.latency.sojourn.p50Ns));
+            p50_l.push_back(
+                static_cast<double>(rl.latency.sojourn.p50Ns));
+        }
+        const double mqi = tb::util::percentileOf(qps_i, 50.0);
+        const double mql = tb::util::percentileOf(qps_l, 50.0);
+        CHECK_NEAR(mql, mqi, 0.25);
+        // Sockets cost something: loopback sojourn is not *faster*
+        // than integrated by more than noise.
+        CHECK(tb::util::percentileOf(p50_l, 50.0) >
+              0.5 * tb::util::percentileOf(p50_i, 50.0));
     }
 
     // Multi-connection client against a sharded server: one
@@ -405,6 +541,119 @@ main()
         const RunResult r2 = networked.run(*app, cfg);
         CHECK_EQ(r2.latency.sojourn.count,
                  static_cast<uint64_t>(150));
+    }
+
+    // Reactor backend end to end: the same routing test as above
+    // (two clients, overlapping request ids) against an epoll server.
+    // The service loop, wire format and transports are identical —
+    // only the connection IO changed — so every response must come
+    // back on its own connection and both streams end at the server's
+    // FIN.
+    {
+        auto app = makeTestApp();
+        tb::net::IoOptions io;
+        io.mode = tb::net::IoMode::kReactor;
+        tb::net::TcpServer server(*app, 2, 0, true, {}, {}, io);
+        CHECK(server.listening());
+        CHECK(server.ioMode() == tb::net::IoMode::kReactor);
+        CHECK(server.reactorCount() >= 1u);
+        server.start();
+        tb::net::TcpClientTransport a("127.0.0.1", server.port());
+        tb::net::TcpClientTransport b("127.0.0.1", server.port());
+        CHECK(a.connected());
+        CHECK(b.connected());
+
+        tb::util::Rng rng(17);
+        for (uint64_t i = 0; i < 20; i++) {
+            Request ra;
+            ra.id = i;
+            ra.payload = app->genRequest(rng);
+            ra.genNs = 1000000 + static_cast<int64_t>(i);
+            a.sendRequest(std::move(ra));
+            Request rb;
+            rb.id = i;
+            rb.payload = app->genRequest(rng);
+            rb.genNs = 2000000 + static_cast<int64_t>(i);
+            b.sendRequest(std::move(rb));
+        }
+        a.finishSend();
+        b.finishSend();
+        unsigned got_a = 0;
+        Response resp;
+        while (a.recvResponse(resp)) {
+            CHECK(resp.timing.genNs >= 1000000 &&
+                  resp.timing.genNs < 2000000);
+            got_a++;
+        }
+        unsigned got_b = 0;
+        while (b.recvResponse(resp)) {
+            CHECK(resp.timing.genNs >= 2000000);
+            got_b++;
+        }
+        CHECK_EQ(got_a, 20u);
+        CHECK_EQ(got_b, 20u);
+        server.stop();
+    }
+
+    // Reactor backend under an open-loop harness run, selected the
+    // way operators select it — TAILBENCH_IO_MODE — so the env knob
+    // path is covered too: full request count, same timestamp
+    // invariants as the threads backend.
+    {
+        CHECK(::setenv("TAILBENCH_IO_MODE", "reactor", 1) == 0);
+        auto app = makeTestApp();
+        tb::net::LoopbackOptions lopts;
+        lopts.connections = 0;  // one per server worker
+        lopts.port.policy = tb::core::QueuePolicy::kSharded;
+        tb::net::LoopbackHarness loopback(lopts);
+        HarnessConfig cfg;
+        cfg.qps = 2000.0;
+        cfg.workerThreads = 4;
+        cfg.warmupRequests = 40;
+        cfg.measuredRequests = 300;
+        cfg.seed = 46;
+        cfg.keepSamples = true;
+        const RunResult r = loopback.run(*app, cfg);
+        CHECK(::unsetenv("TAILBENCH_IO_MODE") == 0);
+        CHECK_EQ(r.latency.sojourn.count, static_cast<uint64_t>(300));
+        checkTimingInvariants(r);
+        CHECK_EQ(r.serviceWorkers, 4u);
+    }
+
+    // A malformed frame mid-stream poisons only its own connection:
+    // the reactor drops that client, and a well-behaved client on the
+    // same server is unaffected.
+    {
+        auto app = makeTestApp();
+        tb::net::IoOptions io;
+        io.mode = tb::net::IoMode::kReactor;
+        io.reactors = 1;  // both connections on one event loop
+        tb::net::TcpServer server(*app, 1, 0, true, {}, {}, io);
+        CHECK(server.listening());
+        server.start();
+        const int bad_fd =
+            tb::net::connectTcp("127.0.0.1", server.port());
+        CHECK(bad_fd >= 0);
+        tb::net::TcpClientTransport good("127.0.0.1", server.port());
+        CHECK(good.connected());
+
+        const char garbage[] = "this is not a TBRQ frame";
+        CHECK(::send(bad_fd, garbage, sizeof(garbage), MSG_NOSIGNAL) ==
+              static_cast<ssize_t>(sizeof(garbage)));
+
+        tb::util::Rng rng(23);
+        Request req;
+        req.id = 5;
+        req.payload = app->genRequest(rng);
+        req.genNs = tb::util::monotonicNs();
+        good.sendRequest(std::move(req));
+        Response resp;
+        CHECK(good.recvResponse(resp));
+        CHECK_EQ(resp.id, static_cast<uint64_t>(5));
+        good.finishSend();
+        CHECK(!good.recvResponse(resp));
+        ::close(bad_fd);
+        server.stop();
     }
 
     return TEST_MAIN_RESULT();
