@@ -4,10 +4,10 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
 #include "core/methodology.h"
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -16,40 +16,16 @@ namespace tb::bench {
 BenchSettings
 BenchSettings::fromEnv()
 {
-    // Strict parsing: atof/atoll would coerce a malformed value to 0,
-    // and sizeFactor=0 silently degenerates every app's dataset (the
-    // whole suite "passes" while measuring nothing). Bad input keeps
-    // the default and warns instead.
+    // All four knobs go through the blessed env seam (util/env.h),
+    // which owns the strict warn-and-default parsing these knobs
+    // pioneered: a malformed TAILBENCH_SIZE must not coerce to 0 and
+    // silently degenerate every app's dataset.
     BenchSettings s;
-    if (const char* sz = std::getenv("TAILBENCH_SIZE")) {
-        char* end = nullptr;
-        const double v = std::strtod(sz, &end);
-        if (end == sz || *end != '\0' || !std::isfinite(v) || v <= 0.0)
-            TB_LOG_WARN("TAILBENCH_SIZE=\"%s\" is not a positive "
-                        "number; keeping default %.3g",
-                        sz, s.sizeFactor);
-        else
-            s.sizeFactor = v;
-    }
-    if (std::getenv("TAILBENCH_FAST"))
-        s.fast = true;
-    if (std::getenv("TAILBENCH_PIN_WORKERS"))
-        s.pinWorkers = true;
-    if (const char* sd = std::getenv("TAILBENCH_SEED")) {
-        // Reject '-' anywhere: strtoull skips leading whitespace and
-        // would wrap a negative value to a huge seed without setting
-        // errno (a trailing '-' already fails the *end check).
-        char* end = nullptr;
-        errno = 0;
-        const unsigned long long v = std::strtoull(sd, &end, 10);
-        if (end == sd || *end != '\0' || errno == ERANGE ||
-            std::strchr(sd, '-') != nullptr)
-            TB_LOG_WARN("TAILBENCH_SEED=\"%s\" is not an unsigned "
-                        "integer; keeping default %llu",
-                        sd, static_cast<unsigned long long>(s.seed));
-        else
-            s.seed = v;
-    }
+    s.sizeFactor = util::envPositiveDouble("TAILBENCH_SIZE",
+                                           s.sizeFactor);
+    s.fast = util::envFlag("TAILBENCH_FAST");
+    s.pinWorkers = util::envFlag("TAILBENCH_PIN_WORKERS");
+    s.seed = util::envU64("TAILBENCH_SEED", s.seed);
     return s;
 }
 

@@ -30,7 +30,6 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -39,6 +38,7 @@
 #include "bench/common.h"
 #include "core/integrated_harness.h"
 #include "net/server_harness.h"
+#include "util/env.h"
 #include "util/logging.h"
 
 using namespace tb;
@@ -62,12 +62,11 @@ std::vector<std::string>
 transportsForEnv()
 {
     std::vector<std::string> t = {"in-process", "loopback-mc"};
-    // Same validation as NetworkedHarness: an invalid port value
-    // makes it self-serve in-process (policy fully honored), so only
-    // a *usable* external port disables the sweep.
-    const char* env = std::getenv("TAILBENCH_NET_PORT");
-    if (env == nullptr ||
-        net::parsePort(env, "fig9 TAILBENCH_NET_PORT") == 0)
+    // Same validation as NetworkedHarness (both go through
+    // util::envPort): an invalid port value makes it self-serve
+    // in-process (policy fully honored), so only a *usable* external
+    // port disables the sweep.
+    if (util::envPort("TAILBENCH_NET_PORT") == 0)
         t.push_back("per-request");
     else
         TB_LOG_WARN(

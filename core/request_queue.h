@@ -11,15 +11,21 @@
  * generator and reintroduce the closed-loop coordination the open-loop
  * methodology exists to avoid. Memory is bounded in practice by run
  * length (measuredRequests).
+ *
+ * Lock invariant (compile-checked under -Wthread-safety, see
+ * util/thread_annotations.h): queue_ and closed_ are readable and
+ * writable only with mu_ held; cv_ signals "queue_ non-empty or
+ * closed_", and every wait is the explicit re-check loop over exactly
+ * that predicate.
  */
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace tb::core {
 
@@ -59,10 +65,10 @@ class BlockingQueue {
     push(T&& item)
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             queue_.push_back(std::move(item));
         }
-        cv_.notify_one();
+        cv_.notifyOne();
     }
 
     /**
@@ -72,8 +78,9 @@ class BlockingQueue {
     bool
     pop(T& out)
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+        util::MutexLock lock(mu_);
+        while (queue_.empty() && !closed_)
+            cv_.wait(lock);
         if (queue_.empty())
             return false;
         out = std::move(queue_.front());
@@ -89,9 +96,13 @@ class BlockingQueue {
     PopResult
     popFor(T& out, std::chrono::nanoseconds d)
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait_for(lock, d,
-                     [this] { return !queue_.empty() || closed_; });
+        const auto deadline = std::chrono::steady_clock::now() + d;
+        util::MutexLock lock(mu_);
+        while (queue_.empty() && !closed_) {
+            if (cv_.waitUntil(lock, deadline) ==
+                std::cv_status::timeout)
+                break;
+        }
         if (!queue_.empty()) {
             out = std::move(queue_.front());
             queue_.pop_front();
@@ -111,8 +122,9 @@ class BlockingQueue {
     {
         if (max == 0)
             return 0;
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+        util::MutexLock lock(mu_);
+        while (queue_.empty() && !closed_)
+            cv_.wait(lock);
         size_t n = 0;
         while (!queue_.empty() && n < max) {
             out.push_back(std::move(queue_.front()));
@@ -127,7 +139,7 @@ class BlockingQueue {
     bool
     tryPop(T& out)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         if (queue_.empty())
             return false;
         out = std::move(queue_.front());
@@ -140,7 +152,7 @@ class BlockingQueue {
     size_t
     tryPopBatch(std::vector<T>& out, size_t max)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         size_t n = 0;
         while (!queue_.empty() && n < max) {
             out.push_back(std::move(queue_.front()));
@@ -155,24 +167,24 @@ class BlockingQueue {
     close()
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             closed_ = true;
         }
-        cv_.notify_all();
+        cv_.notifyAll();
     }
 
     size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         return queue_.size();
     }
 
   private:
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<T> queue_;
-    bool closed_ = false;
+    mutable util::Mutex mu_;
+    util::CondVar cv_;
+    std::deque<T> queue_ TB_GUARDED_BY(mu_);
+    bool closed_ TB_GUARDED_BY(mu_) = false;
 };
 
 /** The generator -> worker request channel of the in-process

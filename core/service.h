@@ -74,6 +74,24 @@ class ServiceLoop {
   private:
     void workerBody(unsigned worker);
 
+    /**
+     * Worker-pool lifecycle invariants (no mutex by design, so
+     * nothing here is TB_GUARDED_BY — the checked locking lives in
+     * the port the workers block on):
+     *
+     *   threads_   owner-thread-only: written by start() and join(),
+     *              both called from the thread that owns the loop,
+     *              never from a worker (workerBody does not touch
+     *              it). start()-before-join() ordering is the
+     *              caller's contract.
+     *   active_    the live-worker count, decremented by each worker
+     *              on exit; the 1 -> 0 transition elects exactly one
+     *              worker to call port_.closeResponses(), which is
+     *              why the client's response stream cannot end before
+     *              the last response was sent.
+     *   pinned_    incremented once per worker whose CPU pin took;
+     *              stable after join().
+     */
     ServerPort& port_;
     apps::App& app_;
     const unsigned workers_;

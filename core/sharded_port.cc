@@ -48,19 +48,27 @@ resolveShards(PortOptions opts, unsigned workers)
     return opts;
 }
 
+std::vector<std::unique_ptr<BlockingQueue<Request>>>
+RequestPool::makeShards(QueuePolicy policy, unsigned shards)
+{
+    const unsigned n = policy == QueuePolicy::kSingleQueue
+        ? 1
+        : std::max(1u, shards);
+    std::vector<std::unique_ptr<BlockingQueue<Request>>> v;
+    v.reserve(n);
+    for (unsigned s = 0; s < n; s++)
+        v.emplace_back(new BlockingQueue<Request>());
+    return v;
+}
+
 RequestPool::RequestPool(const PortOptions& opts)
     : policy_(opts.policy),
       steal_(opts.policy == QueuePolicy::kShardedSteal),
       batch_max_(opts.policy == QueuePolicy::kSingleQueue
                      ? 1
-                     : std::max<size_t>(1, opts.batchMax))
+                     : std::max<size_t>(1, opts.batchMax)),
+      shards_(makeShards(opts.policy, opts.shards))
 {
-    const unsigned n = policy_ == QueuePolicy::kSingleQueue
-        ? 1
-        : std::max(1u, opts.shards);
-    shards_.reserve(n);
-    for (unsigned s = 0; s < n; s++)
-        shards_.emplace_back(new BlockingQueue<Request>());
 }
 
 void

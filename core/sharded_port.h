@@ -33,6 +33,17 @@
  * delegate their request side here, which is what makes the sharding
  * land in the integrated, loopback and networked configurations at
  * once.
+ *
+ * Concurrency shape (the machine-checked part lives inside
+ * BlockingQueue's annotations): the pool itself holds no mutex —
+ * shards_ is immutable after construction (enforced below: the
+ * vector member is const), rr_ is atomic, and the per-worker binding
+ * is thread-local. Every blocking/guarded access happens inside the
+ * per-shard BlockingQueue, whose queue_/closed_ are TB_GUARDED_BY
+ * its mutex. The steal-mode exit proof (finishedAfterClose) needs no
+ * lock of its own: close() happens only after producers are done, so
+ * per-shard sizes are monotonically non-increasing from then on and
+ * an observed-empty sibling stays empty.
  */
 
 #include <atomic>
@@ -134,10 +145,17 @@ class RequestPool {
                           size_t max);
     bool finishedAfterClose(unsigned shard) const;
 
-    QueuePolicy policy_;
-    bool steal_;
-    size_t batch_max_;
-    std::vector<std::unique_ptr<BlockingQueue<Request>>> shards_;
+    /** Builds the shard set once; assigning it to a const member
+     * makes "no shard is ever added, dropped or reseated after
+     * construction" — the premise of the lock-free pop/steal paths —
+     * a compiler-checked fact. */
+    static std::vector<std::unique_ptr<BlockingQueue<Request>>>
+    makeShards(QueuePolicy policy, unsigned shards);
+
+    const QueuePolicy policy_;
+    const bool steal_;
+    const size_t batch_max_;
+    const std::vector<std::unique_ptr<BlockingQueue<Request>>> shards_;
     std::atomic<uint64_t> rr_{0};
 };
 

@@ -10,16 +10,15 @@
 
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
-#include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "net/wire.h"
+#include "util/env.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 
 namespace tb::net {
 
@@ -83,8 +82,12 @@ ioModeName(IoMode mode)
 IoOptions
 ioOptionsFromEnv()
 {
+    // Both knobs come through the blessed env seam (util/env.h):
+    // TAILBENCH_REACTORS gets the shared strict integer parse with
+    // warn-and-default; the mode string is validated here since only
+    // this file knows the legal values.
     IoOptions io;
-    if (const char* m = std::getenv("TAILBENCH_IO_MODE")) {
+    if (const char* m = util::envString("TAILBENCH_IO_MODE")) {
         const std::string mode = m;
         if (mode == "reactor")
             io.mode = IoMode::kReactor;
@@ -93,16 +96,8 @@ ioOptionsFromEnv()
                         "threads|reactor; keeping threads",
                         m);
     }
-    if (const char* r = std::getenv("TAILBENCH_REACTORS")) {
-        char* end = nullptr;
-        const long v = std::strtol(r, &end, 10);
-        if (end == r || *end != '\0' || v < 1 || v > 1024)
-            TB_LOG_WARN("TAILBENCH_REACTORS=\"%s\" is not in 1..1024; "
-                        "keeping default",
-                        r);
-        else
-            io.reactors = static_cast<unsigned>(v);
-    }
+    io.reactors = static_cast<unsigned>(
+        util::envU64("TAILBENCH_REACTORS", 0, 1, 1024));
     return io;
 }
 
@@ -166,7 +161,7 @@ class Reactor {
     {
         setNonBlocking(fd);
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             pending_listener_ = fd;
         }
         wake();
@@ -176,7 +171,7 @@ class Reactor {
     postAdopt(int fd, uint64_t serial)
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             adopts_.push_back(Adopt{fd, serial});
         }
         wake();
@@ -198,7 +193,7 @@ class Reactor {
         encodeResponseFrame(frame, resp);
         std::shared_ptr<RConn> c;
         {
-            std::lock_guard<std::mutex> lock(conns_mu_);
+            util::MutexLock lock(conns_mu_);
             const auto it = conns_.find(resp.ctx);
             if (it != conns_.end())
                 c = it->second;
@@ -212,7 +207,7 @@ class Reactor {
         }
         bool need_notify = false;
         {
-            std::lock_guard<std::mutex> lock(c->out_mu);
+            util::MutexLock lock(c->out_mu);
             if (c->fd >= 0) {
                 if (c->out_head >= c->out.size()) {
                     c->out.clear();
@@ -261,17 +256,18 @@ class Reactor {
     void
     stopReads()
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         ctrl_stop_reads_ = true;
         wakeLocked();
-        ctrl_cv_.wait(lock, [this] { return reads_stopped_; });
+        while (!reads_stopped_)
+            ctrl_cv_.wait(lock);
     }
 
     void
     requestStop()
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             ctrl_stop_ = true;
         }
         wake();
@@ -292,36 +288,50 @@ class Reactor {
 
     /**
      * One connection. Loop-thread-only: `in`/`in_head` (undecoded
-     * tail), `armed` (epoll registration), every fd close. Shared
-     * with the worker write path under `out_mu`: the output backlog
-     * `out`/`out_head` and `fd` (writers read it; only the loop
-     * thread sets it to -1, under the same lock, so a worker never
-     * writes into a closed descriptor). `outstanding`/`rd_closed`
+     * tail) — unannotated because the safety argument is thread
+     * identity, not a lock. Shared with the worker write path under
+     * `out_mu` (TB_GUARDED_BY, compile-checked): the output backlog
+     * `out`/`out_head`, `fd` (writers read it; only the loop thread
+     * sets it to -1, under the same lock, so a worker never writes
+     * into a closed descriptor) and `armed` (the epoll registration
+     * mask, recomputed from guarded state). `outstanding`/`rd_closed`
      * are atomic because the close condition (read-closed &&
      * outstanding == 0 && output drained) is decided on the loop
      * thread from inputs that change on worker threads. When the
      * socket dies before its outstanding responses arrive, the
      * fd = -1 shell survives in the map until the count drains,
      * keeping the bookkeeping exact.
+     *
+     * Lock order: conns_mu_ before out_mu wherever both are held
+     * (anyPendingOutput, teardown); maybeClose releases out_mu
+     * before taking conns_mu_ for the erase to respect it.
      */
     struct RConn {
-        int fd = -1;
-        uint64_t serial = 0;
+        RConn(int fd_in, uint64_t serial_in)
+            : fd(fd_in), serial(serial_in)
+        {
+        }
+
+        util::Mutex out_mu;
+        int fd TB_GUARDED_BY(out_mu);
+        const uint64_t serial;
         std::vector<uint8_t> in;
         size_t in_head = 0;
-        std::mutex out_mu;
-        std::vector<uint8_t> out;
-        size_t out_head = 0;
+        std::vector<uint8_t> out TB_GUARDED_BY(out_mu);
+        size_t out_head TB_GUARDED_BY(out_mu) = 0;
         std::atomic<uint64_t> outstanding{0};
         std::atomic<bool> rd_closed{false};
-        uint32_t armed = EPOLLIN;  // events currently registered
+        /** Events currently registered with epoll; recomputed under
+         * out_mu (updateEvents) since it is a function of guarded
+         * state. */
+        uint32_t armed TB_GUARDED_BY(out_mu) = EPOLLIN;
     };
 
     void
     postNotify(uint64_t serial)
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             notifies_.push_back(serial);
         }
         wake();
@@ -330,12 +340,12 @@ class Reactor {
     void
     wake()
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         wakeLocked();
     }
 
     void
-    wakeLocked()
+    wakeLocked() TB_REQUIRES(mu_)
     {
         if (wake_armed_)
             return;
@@ -355,7 +365,7 @@ class Reactor {
         for (;;) {
             bool do_stop_reads = false;
             {
-                std::lock_guard<std::mutex> lock(mu_);
+                util::MutexLock lock(mu_);
                 adopts.swap(adopts_);
                 notifies.swap(notifies_);
                 if (pending_listener_ >= 0) {
@@ -418,7 +428,7 @@ class Reactor {
         uint64_t v;
         [[maybe_unused]] const ssize_t n =
             ::read(event_fd_, &v, sizeof(v));
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         wake_armed_ = false;
     }
 
@@ -469,7 +479,10 @@ class Reactor {
                                     "accepts");
                         warned_fd_limit_ = true;
                     }
-                    ::usleep(1000);
+                    // Deliberate pause: with zero spare fds there is
+                    // no useful work to interleave, and returning
+                    // immediately would spin on EMFILE.
+                    ::usleep(1000);  // tb-lint: allow(reactor-block)
                     return;
                 }
                 dropListener();  // listener shut down
@@ -489,9 +502,7 @@ class Reactor {
             ::close(a.fd);
             return;
         }
-        auto conn = std::make_shared<RConn>();
-        conn->fd = a.fd;
-        conn->serial = a.serial;
+        auto conn = std::make_shared<RConn>(a.fd, a.serial);
         struct epoll_event ev;
         std::memset(&ev, 0, sizeof(ev));
         ev.events = EPOLLIN;
@@ -502,7 +513,7 @@ class Reactor {
             ::close(a.fd);
             return;
         }
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        util::MutexLock lock(conns_mu_);
         conns_.emplace(a.serial, std::move(conn));
     }
 
@@ -512,7 +523,7 @@ class Reactor {
     {
         std::shared_ptr<RConn> c;
         {
-            std::lock_guard<std::mutex> lock(conns_mu_);
+            util::MutexLock lock(conns_mu_);
             const auto it = conns_.find(serial);
             if (it != conns_.end())
                 c = it->second;
@@ -520,7 +531,7 @@ class Reactor {
         if (!c)
             return;
         {
-            std::lock_guard<std::mutex> lock(c->out_mu);
+            util::MutexLock lock(c->out_mu);
             flushLocked(c.get());
         }
         updateEvents(c.get());
@@ -533,7 +544,7 @@ class Reactor {
         dropListener();
         std::vector<std::shared_ptr<RConn>> all;
         {
-            std::lock_guard<std::mutex> lock(conns_mu_);
+            util::MutexLock lock(conns_mu_);
             all.reserve(conns_.size());
             for (const auto& [serial, conn] : conns_)
                 all.push_back(conn);
@@ -542,7 +553,7 @@ class Reactor {
             if (!c->rd_closed.load()) {
                 c->rd_closed.store(true);
                 {
-                    std::lock_guard<std::mutex> lock(c->out_mu);
+                    util::MutexLock lock(c->out_mu);
                     if (c->fd >= 0)
                         ::shutdown(c->fd, SHUT_RD);
                 }
@@ -552,10 +563,10 @@ class Reactor {
         }
         reads_stopped_flag_ = true;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             reads_stopped_ = true;
         }
-        ctrl_cv_.notify_all();
+        ctrl_cv_.notifyAll();
     }
 
     void
@@ -565,14 +576,14 @@ class Reactor {
             handleRead(c);
         if (events & EPOLLOUT) {
             {
-                std::lock_guard<std::mutex> lock(c->out_mu);
+                util::MutexLock lock(c->out_mu);
                 flushLocked(c);
             }
             updateEvents(c);
         }
         if (events & (EPOLLERR | EPOLLHUP)) {
             // Peer fully gone and nothing left to write through it.
-            std::lock_guard<std::mutex> lock(c->out_mu);
+            util::MutexLock lock(c->out_mu);
             if (c->fd >= 0 && c->rd_closed.load() &&
                 c->out_head >= c->out.size())
                 closeFdLocked(c);
@@ -583,9 +594,19 @@ class Reactor {
     void
     handleRead(RConn* c)
     {
+        // fd closes are loop-thread-only and this runs on the loop
+        // thread, so a snapshot taken under out_mu here cannot go
+        // stale across the read loop.
+        int fd;
+        {
+            util::MutexLock lock(c->out_mu);
+            fd = c->fd;
+        }
+        if (fd < 0)
+            return;
         for (;;) {
             const ssize_t n =
-                ::read(c->fd, scratch_.data(), scratch_.size());
+                ::read(fd, scratch_.data(), scratch_.size());
             if (n > 0) {
                 if (!feed(c, scratch_.data(),
                           static_cast<size_t>(n))) {
@@ -608,7 +629,7 @@ class Reactor {
             // undeliverable.
             c->rd_closed.store(true);
             {
-                std::lock_guard<std::mutex> lock(c->out_mu);
+                util::MutexLock lock(c->out_mu);
                 c->out.clear();
                 c->out_head = 0;
                 closeFdLocked(c);
@@ -685,7 +706,7 @@ class Reactor {
      * EPOLLOUT. A hard write error tears the fd down on the spot —
      * closes are loop-thread-only, and this runs only on the loop. */
     void
-    flushLocked(RConn* c)
+    flushLocked(RConn* c) TB_REQUIRES(c->out_mu)
     {
         if (c->fd < 0)
             return;
@@ -722,7 +743,7 @@ class Reactor {
     void
     updateEvents(RConn* c)
     {
-        std::lock_guard<std::mutex> lock(c->out_mu);
+        util::MutexLock lock(c->out_mu);
         if (c->fd < 0)
             return;
         const uint32_t want =
@@ -745,7 +766,7 @@ class Reactor {
      * only); workers see fd == -1 under the same lock and stop
      * writing. */
     void
-    closeFdLocked(RConn* c)
+    closeFdLocked(RConn* c) TB_REQUIRES(c->out_mu)
     {
         if (c->fd < 0)
             return;
@@ -766,7 +787,7 @@ class Reactor {
             return;
         const uint64_t serial = c->serial;
         {
-            std::lock_guard<std::mutex> lock(c->out_mu);
+            util::MutexLock lock(c->out_mu);
             if (c->fd >= 0) {
                 if (c->out_head < c->out.size())
                     return;  // still flushing
@@ -776,16 +797,16 @@ class Reactor {
         }
         // Lock order is conns_mu_ -> out_mu everywhere else, so the
         // erase must happen after out_mu is released.
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        util::MutexLock lock(conns_mu_);
         conns_.erase(serial);
     }
 
     bool
     anyPendingOutput()
     {
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        util::MutexLock lock(conns_mu_);
         for (const auto& [serial, conn] : conns_) {
-            std::lock_guard<std::mutex> out_lock(conn->out_mu);
+            util::MutexLock out_lock(conn->out_mu);
             if (conn->fd >= 0 && conn->out_head < conn->out.size())
                 return true;
         }
@@ -796,9 +817,9 @@ class Reactor {
     teardown()
     {
         {
-            std::lock_guard<std::mutex> lock(conns_mu_);
+            util::MutexLock lock(conns_mu_);
             for (auto& [serial, conn] : conns_) {
-                std::lock_guard<std::mutex> out_lock(conn->out_mu);
+                util::MutexLock out_lock(conn->out_mu);
                 closeFdLocked(conn.get());
             }
             conns_.clear();
@@ -806,11 +827,11 @@ class Reactor {
         dropListener();
         // A stopReads that raced the stop must still be answered.
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            util::MutexLock lock(mu_);
             reads_stopped_ = true;
             reads_stopped_flag_ = true;
         }
-        ctrl_cv_.notify_all();
+        ctrl_cv_.notifyAll();
     }
 
     ReactorPool& pool_;
@@ -828,22 +849,23 @@ class Reactor {
     std::thread thread_;
     /** serial -> connection. Shared with the worker write path for
      * lookup under conns_mu_; all map mutation is loop-thread. */
-    std::mutex conns_mu_;
-    std::unordered_map<uint64_t, std::shared_ptr<RConn>> conns_;
+    util::Mutex conns_mu_;
+    std::unordered_map<uint64_t, std::shared_ptr<RConn>> conns_
+        TB_GUARDED_BY(conns_mu_);
     std::vector<uint8_t> scratch_ =
         std::vector<uint8_t>(kReadScratchBytes);
 
     // Cross-thread task queue. wake_armed_ collapses redundant
     // eventfd writes.
-    std::mutex mu_;
-    std::condition_variable ctrl_cv_;
-    std::vector<Adopt> adopts_;
-    std::vector<uint64_t> notifies_;
-    int pending_listener_ = -1;
-    bool ctrl_stop_reads_ = false;
-    bool reads_stopped_ = false;
-    bool ctrl_stop_ = false;
-    bool wake_armed_ = false;
+    util::Mutex mu_;
+    util::CondVar ctrl_cv_;
+    std::vector<Adopt> adopts_ TB_GUARDED_BY(mu_);
+    std::vector<uint64_t> notifies_ TB_GUARDED_BY(mu_);
+    int pending_listener_ TB_GUARDED_BY(mu_) = -1;
+    bool ctrl_stop_reads_ TB_GUARDED_BY(mu_) = false;
+    bool reads_stopped_ TB_GUARDED_BY(mu_) = false;
+    bool ctrl_stop_ TB_GUARDED_BY(mu_) = false;
+    bool wake_armed_ TB_GUARDED_BY(mu_) = false;
 
     // epoll_event.data tags for the two non-connection fds.
     int event_tag_ = 0;

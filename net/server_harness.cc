@@ -14,6 +14,7 @@
 
 #include "net/wire.h"
 #include "util/clock.h"
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace tb::net {
@@ -104,7 +105,9 @@ connectTcp(const std::string& host, uint16_t port)
  * One accepted connection. `outstanding` counts requests registered
  * by the reader but not yet responded to; the connection is closed by
  * whoever makes (eof && outstanding == 0) true — the reader for an
- * idle end-of-stream, the last responding worker otherwise.
+ * idle end-of-stream, the last responding worker otherwise. The
+ * close-predicate state is TB_GUARDED_BY(mu), so that invariant is
+ * compile-checked, not just argued.
  */
 struct TcpServer::Conn {
     Conn(int fd_in, uint64_t serial_in) : fd(fd_in), serial(serial_in)
@@ -112,19 +115,24 @@ struct TcpServer::Conn {
     }
     ~Conn()
     {
+        // Destruction implies sole ownership (last shared_ptr), but
+        // the lock keeps the guarded read visible to the analysis.
+        util::MutexLock lock(mu);
         if (!closed && fd >= 0)
             ::close(fd);
     }
 
-    int fd;
+    /** The descriptor itself is immutable (close() does not reset
+     * it); `closed` under mu says whether it is still valid. */
+    const int fd;
     /** Routing key (Request::ctx): unique per accepted connection, so
      * responses find their way home even when separate clients
      * generate overlapping request ids. */
     const uint64_t serial;
-    std::mutex mu;  // serializes response writes and state changes
-    uint64_t outstanding = 0;
-    bool eof = false;
-    bool closed = false;
+    util::Mutex mu;  // serializes response writes and state changes
+    uint64_t outstanding TB_GUARDED_BY(mu) = 0;
+    bool eof TB_GUARDED_BY(mu) = false;
+    bool closed TB_GUARDED_BY(mu) = false;
 };
 
 class TcpServer::Port final : public core::ServerPort {
@@ -166,10 +174,11 @@ class TcpServer::Port final : public core::ServerPort {
      * connection serials are the placement key, so one connection's
      * requests stay on one worker's shard. */
     core::RequestPool pool_;
-    std::mutex map_mu_;
+    util::Mutex map_mu_;
     /** Conn::serial -> connection; inserted at accept, erased at
      * connection close. */
-    std::unordered_map<uint64_t, std::shared_ptr<Conn>> routes_;
+    std::unordered_map<uint64_t, std::shared_ptr<Conn>> routes_
+        TB_GUARDED_BY(map_mu_);
 
   private:
     TcpServer& server_;
@@ -333,9 +342,9 @@ TcpServer::stop()
     accept_thread_.join();
     pending_.close();
     {
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        util::MutexLock lock(conns_mu_);
         for (const std::shared_ptr<Conn>& conn : conns_) {
-            std::lock_guard<std::mutex> cl(conn->mu);
+            util::MutexLock cl(conn->mu);
             if (!conn->closed)
                 ::shutdown(conn->fd, SHUT_RD);
         }
@@ -346,11 +355,11 @@ TcpServer::stop()
     port_obj_->pool_.close();
     service_->join();
     {
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        util::MutexLock lock(conns_mu_);
         conns_.clear();  // Conn dtor closes any leftover fd
     }
     {
-        std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
+        util::MutexLock lock(port_obj_->map_mu_);
         port_obj_->routes_.clear();
     }
 }
@@ -385,11 +394,11 @@ TcpServer::acceptLoop()
         setNoDelay(fd);
         auto conn = std::make_shared<Conn>(fd, next_serial_++);
         {
-            std::lock_guard<std::mutex> lock(conns_mu_);
+            util::MutexLock lock(conns_mu_);
             conns_.insert(conn);
         }
         {
-            std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
+            util::MutexLock lock(port_obj_->map_mu_);
             port_obj_->routes_[conn->serial] = conn;
         }
         // Elastic thread-per-connection: keep readers >= live
@@ -425,7 +434,7 @@ TcpServer::readConnection(const std::shared_ptr<Conn>& conn)
         if (res == WireResult::kOk) {
             req.ctx = conn->serial;
             {
-                std::lock_guard<std::mutex> lock(conn->mu);
+                util::MutexLock lock(conn->mu);
                 conn->outstanding++;
             }
             port_obj_->pool_.push(std::move(req));
@@ -438,7 +447,7 @@ TcpServer::readConnection(const std::shared_ptr<Conn>& conn)
     }
     bool close_now;
     {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        util::MutexLock lock(conn->mu);
         conn->eof = true;
         close_now = conn->outstanding == 0 && !conn->closed;
     }
@@ -455,7 +464,7 @@ TcpServer::sendResponse(const core::Response& resp)
     }
     std::shared_ptr<Conn> conn;
     {
-        std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
+        util::MutexLock lock(port_obj_->map_mu_);
         const auto it = port_obj_->routes_.find(resp.ctx);
         if (it != port_obj_->routes_.end())
             conn = it->second;
@@ -467,7 +476,7 @@ TcpServer::sendResponse(const core::Response& resp)
     }
     bool close_now = false;
     {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        util::MutexLock lock(conn->mu);
         if (!conn->closed) {
             FdStream stream(conn->fd);
             if (!sendResponseFrame(stream, resp))
@@ -486,7 +495,7 @@ void
 TcpServer::closeConn(const std::shared_ptr<Conn>& conn)
 {
     {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        util::MutexLock lock(conn->mu);
         if (conn->closed)
             return;
         conn->closed = true;
@@ -496,11 +505,11 @@ TcpServer::closeConn(const std::shared_ptr<Conn>& conn)
         ::close(conn->fd);
     }
     {
-        std::lock_guard<std::mutex> lock(port_obj_->map_mu_);
+        util::MutexLock lock(port_obj_->map_mu_);
         port_obj_->routes_.erase(conn->serial);
     }
     conns_live_--;
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     conns_.erase(conn);
 }
 
@@ -819,10 +828,13 @@ LoopbackHarness::run(apps::App& app, const core::HarnessConfig& cfg)
 
 NetworkedHarness::NetworkedHarness() : host_("127.0.0.1")
 {
-    if (const char* h = std::getenv("TAILBENCH_NET_HOST"))
+    // Through the blessed env seam (util/env.h): envPort is the same
+    // strict 1..65535 parse as parsePort, returning 0 (self-serve
+    // mode) with a warning on malformed values instead of silently
+    // flipping the configuration.
+    if (const char* h = util::envString("TAILBENCH_NET_HOST"))
         host_ = h;
-    if (const char* p = std::getenv("TAILBENCH_NET_PORT"))
-        port_ = parsePort(p, "TAILBENCH_NET_PORT");
+    port_ = util::envPort("TAILBENCH_NET_PORT");
 }
 
 NetworkedHarness::NetworkedHarness(const core::PortOptions& port)

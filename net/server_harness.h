@@ -33,7 +33,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -45,6 +44,7 @@
 #include "core/service.h"
 #include "core/transport.h"
 #include "net/reactor.h"
+#include "util/mutex.h"
 
 namespace tb::net {
 
@@ -120,6 +120,8 @@ class TcpServer {
 
     int listen_fd_ = -1;
     uint16_t port_ = 0;
+    /** start()/stop() run on the owning (harness control) thread
+     * only; started_ is never touched from a server thread. */
     bool started_ = false;
     IoOptions io_;
     std::atomic<uint64_t> next_serial_{1};
@@ -129,6 +131,10 @@ class TcpServer {
     /** Event-loop backend; null under kThreads. */
     std::unique_ptr<ReactorPool> reactor_pool_;
     std::thread accept_thread_;
+    /** Reader pool. Grown only by the accept thread (elastic spawn)
+     * after start() seeds it; stop() joins accept_thread_ first, so
+     * its own iteration cannot race the growth — single-writer by
+     * thread lifecycle, hence no TB_GUARDED_BY. */
     std::vector<std::thread> reader_threads_;
     /** Live accepted connections — the accept loop spawns a reader
      * whenever readers < live, so persistent connections (which pin
@@ -139,8 +145,8 @@ class TcpServer {
     /** Accepted connections awaiting a reader. */
     core::BlockingQueue<std::shared_ptr<Conn>> pending_;
 
-    std::mutex conns_mu_;
-    std::set<std::shared_ptr<Conn>> conns_;
+    util::Mutex conns_mu_;
+    std::set<std::shared_ptr<Conn>> conns_ TB_GUARDED_BY(conns_mu_);
 };
 
 /** Client transport over one persistent connection (LoopbackHarness).

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Lint runner behind `cmake --build build --target lint` (and the CI
+# lint job): tier 2 (clang-tidy over compile_commands.json) + tier 3
+# (scripts/tb_lint.py). Tier 1, the -Wthread-safety build, is a
+# compiler flag, not a lint pass — see TAILBENCH_THREAD_SAFETY.
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build)
+#
+# clang-tidy is skipped with a notice when not installed, so the
+# target stays runnable in minimal containers; tb_lint.py needs only
+# python3 and always runs.
+set -u
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO/build}"
+status=0
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+        echo "lint: $BUILD_DIR/compile_commands.json missing —" \
+             "configure first (CMAKE_EXPORT_COMPILE_COMMANDS is on" \
+             "by default)" >&2
+        exit 2
+    fi
+    # First-party translation units only; third-party code (none
+    # today) and generated files are not ours to fix.
+    files=$(cd "$REPO" &&
+            ls apps/common/*.cc bench/*.cc core/*.cc net/*.cc \
+               queueing/*.cc sim/*.cc util/*.cc tests/*.cc \
+               2>/dev/null)
+    echo "lint: clang-tidy ($(echo "$files" | wc -w) files)"
+    # shellcheck disable=SC2086
+    (cd "$REPO" && clang-tidy -p "$BUILD_DIR" --quiet $files) \
+        || status=1
+else
+    echo "lint: clang-tidy not found; skipping tier 2" \
+         "(tb_lint still runs)"
+fi
+
+echo "lint: tb_lint.py"
+python3 "$REPO/scripts/tb_lint.py" || status=1
+
+exit $status

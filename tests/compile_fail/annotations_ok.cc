@@ -1,0 +1,74 @@
+/**
+ * Positive control for the thread-safety harness: correctly annotated
+ * code must build (and run) under every compiler, with or without
+ * TAILBENCH_THREAD_SAFETY. If this binary stops compiling, the
+ * compile_fail cases prove nothing — a harness that rejects
+ * everything "passes" both of them.
+ */
+
+#include <cstdio>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+  public:
+    void
+    increment()
+    {
+        tb::util::MutexLock lock(mu_);
+        incrementLocked();
+    }
+
+    int
+    value()
+    {
+        tb::util::MutexLock lock(mu_);
+        return value_;
+    }
+
+    void
+    waitForPositive()
+    {
+        tb::util::MutexLock lock(mu_);
+        while (value_ <= 0)
+            cv_.wait(lock);
+    }
+
+    void
+    notify()
+    {
+        cv_.notifyAll();
+    }
+
+  private:
+    void
+    incrementLocked() TB_REQUIRES(mu_)
+    {
+        value_++;
+    }
+
+    tb::util::Mutex mu_;
+    tb::util::CondVar cv_;
+    int value_ TB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Counter c;
+    c.increment();
+    c.increment();
+    c.notify();
+    c.waitForPositive();
+    if (c.value() != 2) {
+        std::fprintf(stderr, "annotated counter miscounted\n");
+        return 1;
+    }
+    std::printf("annotations_ok: pass\n");
+    return 0;
+}

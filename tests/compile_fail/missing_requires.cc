@@ -1,0 +1,42 @@
+/**
+ * Negative compile test (ctest WILL_FAIL, Clang +
+ * TAILBENCH_THREAD_SAFETY only): calling a TB_REQUIRES function
+ * without holding the named mutex must be rejected by
+ * -Werror=thread-safety. This covers the *Locked-helper discipline
+ * (flushLocked, closeFdLocked, wakeLocked): the suffix is a promise
+ * the analysis, not the reader, enforces.
+ */
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Flusher {
+  public:
+    void
+    flushWithoutLock()
+    {
+        flushLocked();  // BUG under test: mu_ not held
+    }
+
+  private:
+    void
+    flushLocked() TB_REQUIRES(mu_)
+    {
+        pending_ = 0;
+    }
+
+    tb::util::Mutex mu_;
+    int pending_ TB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Flusher f;
+    f.flushWithoutLock();
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * Negative compile test (ctest WILL_FAIL, Clang +
+ * TAILBENCH_THREAD_SAFETY only): reading a TB_GUARDED_BY member
+ * without its mutex must be rejected by -Werror=thread-safety. This
+ * is the exact bug class the annotations exist to stop — a "quick
+ * read" of shared state that happens to work until it doesn't.
+ */
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+  public:
+    int
+    racyRead()
+    {
+        return value_;  // BUG under test: no MutexLock on mu_
+    }
+
+  private:
+    tb::util::Mutex mu_;
+    int value_ TB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Counter c;
+    return c.racyRead();
+}

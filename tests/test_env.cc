@@ -1,0 +1,107 @@
+/** Unit tests: util/env.h — the blessed env seam's strict
+ * warn-and-default parsing. A knob that does not parse must keep its
+ * fallback (never coerce to 0: sizeFactor=0 degenerates every
+ * dataset, port=0 flips the networked harness into self-serve mode),
+ * and negative values must not wrap through strtoull. */
+
+#include "util/env.h"
+
+#include <cstdlib>  // tb-lint: allow(env-seam) setenv, to drive the seam
+#include <string>
+
+#include "tests/test_util.h"
+
+using namespace tb::util;
+
+namespace {
+
+void
+set(const char* name, const char* value)
+{
+    ::setenv(name, value, 1);
+}
+
+void
+unset(const char* name)
+{
+    ::unsetenv(name);
+}
+
+}  // namespace
+
+int
+main()
+{
+    const char* k = "TAILBENCH_TEST_KNOB";
+
+    // envString / envFlag: raw presence.
+    unset(k);
+    CHECK(envString(k) == nullptr);
+    CHECK(!envFlag(k));
+    set(k, "");
+    CHECK(envString(k) != nullptr);
+    CHECK(envFlag(k));  // historical TAILBENCH_FAST: set-empty counts
+    set(k, "hello");
+    CHECK(std::string(envString(k)) == "hello");
+
+    // envU64: plain decimal in range.
+    set(k, "42");
+    CHECK_EQ(envU64(k, 7), static_cast<uint64_t>(42));
+    unset(k);
+    CHECK_EQ(envU64(k, 7), static_cast<uint64_t>(7));
+
+    // Malformed values keep the fallback.
+    set(k, "12abc");
+    CHECK_EQ(envU64(k, 7), static_cast<uint64_t>(7));
+    set(k, "");
+    CHECK_EQ(envU64(k, 7), static_cast<uint64_t>(7));
+    set(k, "abc");
+    CHECK_EQ(envU64(k, 7), static_cast<uint64_t>(7));
+    // Negative must not wrap to a huge unsigned (strtoull would).
+    set(k, "-3");
+    CHECK_EQ(envU64(k, 7), static_cast<uint64_t>(7));
+    // Overflow.
+    set(k, "99999999999999999999999999");
+    CHECK_EQ(envU64(k, 7), static_cast<uint64_t>(7));
+    // Range clamp is a rejection, not a saturation.
+    set(k, "9");
+    CHECK_EQ(envU64(k, 7, 1, 8), static_cast<uint64_t>(7));
+    set(k, "0");
+    CHECK_EQ(envU64(k, 7, 1, 8), static_cast<uint64_t>(7));
+    set(k, "8");
+    CHECK_EQ(envU64(k, 7, 1, 8), static_cast<uint64_t>(8));
+
+    // envPositiveDouble: finite, > 0, fully consumed.
+    set(k, "1.5");
+    CHECK(envPositiveDouble(k, 3.0) == 1.5);
+    set(k, "0");
+    CHECK(envPositiveDouble(k, 3.0) == 3.0);
+    set(k, "-1.5");
+    CHECK(envPositiveDouble(k, 3.0) == 3.0);
+    set(k, "inf");
+    CHECK(envPositiveDouble(k, 3.0) == 3.0);
+    set(k, "nan");
+    CHECK(envPositiveDouble(k, 3.0) == 3.0);
+    set(k, "1.5x");
+    CHECK(envPositiveDouble(k, 3.0) == 3.0);
+    unset(k);
+    CHECK(envPositiveDouble(k, 3.0) == 3.0);
+
+    // envPort: 1..65535, 0 = unset-or-invalid.
+    set(k, "8080");
+    CHECK_EQ(envPort(k), static_cast<uint16_t>(8080));
+    set(k, "65535");
+    CHECK_EQ(envPort(k), static_cast<uint16_t>(65535));
+    set(k, "65536");  // would truncate to 0 under a naive cast chain
+    CHECK_EQ(envPort(k), static_cast<uint16_t>(0));
+    set(k, "0");
+    CHECK_EQ(envPort(k), static_cast<uint16_t>(0));
+    set(k, "-1");
+    CHECK_EQ(envPort(k), static_cast<uint16_t>(0));
+    set(k, "http");
+    CHECK_EQ(envPort(k), static_cast<uint16_t>(0));
+    unset(k);
+    CHECK_EQ(envPort(k), static_cast<uint16_t>(0));
+
+    return TEST_MAIN_RESULT();
+}

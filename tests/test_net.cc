@@ -5,15 +5,18 @@
 
 #include "net/wire.h"
 
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/integrated_harness.h"
@@ -653,6 +656,164 @@ main()
         good.finishSend();
         CHECK(!good.recvResponse(resp));
         ::close(bad_fd);
+        server.stop();
+    }
+
+    // Regression: MultiConnTcpTransport connection retirement. A
+    // hand-rolled wire-level server answers on one connection and
+    // hard-closes the other mid-stream; the transport must retire the
+    // dead slot (collector on EOF, generator on write failure), keep
+    // routing the remaining load over the live connection, and end
+    // the response stream instead of hanging the collector on the
+    // retired socket. Round-robin sends racing the retirement may
+    // lose a bounded handful of requests to the dying socket — that
+    // graceful loss is the contract; swallowing 1/N of the load
+    // forever (or a wedged recvResponse) is the bug this guards.
+    {
+        const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+        CHECK(lfd >= 0);
+        struct sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = 0;
+        CHECK(::bind(lfd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr)) == 0);
+        CHECK(::listen(lfd, 8) == 0);
+        socklen_t alen = sizeof(addr);
+        CHECK(::getsockname(lfd,
+                            reinterpret_cast<struct sockaddr*>(&addr),
+                            &alen) == 0);
+        const uint16_t port = ntohs(addr.sin_port);
+
+        std::thread srv([lfd] {
+            const int a = ::accept(lfd, nullptr, nullptr);
+            const int b = ::accept(lfd, nullptr, nullptr);
+            CHECK(a >= 0 && b >= 0);
+            ::close(b);  // mid-stream retirement under test
+            std::vector<uint8_t> buf;
+            uint8_t tmp[4096];
+            for (;;) {
+                const ssize_t n = ::read(a, tmp, sizeof(tmp));
+                if (n <= 0)
+                    break;
+                buf.insert(buf.end(), tmp, tmp + n);
+                size_t head = 0;
+                for (;;) {
+                    Request req;
+                    size_t consumed = 0;
+                    const auto r = tb::net::tryDecodeRequestFrame(
+                        buf.data() + head, buf.size() - head, req,
+                        consumed);
+                    if (r != tb::net::DecodeResult::kFrame)
+                        break;
+                    head += consumed;
+                    Response resp;
+                    resp.id = req.id;
+                    resp.timing.genNs = req.genNs;
+                    resp.timing.startNs = req.genNs + 1;
+                    resp.timing.endNs = req.genNs + 2;
+                    uint8_t frame[tb::net::kResponseFrameBytes];
+                    tb::net::encodeResponseFrame(frame, resp);
+                    size_t sent = 0;
+                    while (sent < sizeof(frame)) {
+                        const ssize_t w =
+                            ::send(a, frame + sent,
+                                   sizeof(frame) - sent, MSG_NOSIGNAL);
+                        if (w <= 0)
+                            break;
+                        sent += static_cast<size_t>(w);
+                    }
+                }
+                buf.erase(buf.begin(),
+                          buf.begin() + static_cast<long>(head));
+            }
+            ::shutdown(a, SHUT_WR);
+            ::close(a);
+        });
+
+        tb::net::MultiConnTcpTransport transport("127.0.0.1", port,
+                                                 /*connections=*/2);
+        CHECK(transport.connected());
+        constexpr uint64_t kN = 40;
+        for (uint64_t i = 0; i < kN; i++) {
+            Request req;
+            req.id = i;
+            req.payload = "x";
+            req.genNs = tb::util::monotonicNs();
+            transport.sendRequest(std::move(req));
+        }
+        transport.finishSend();
+        std::set<uint64_t> seen;
+        Response resp;
+        while (transport.recvResponse(resp)) {
+            CHECK(resp.id < kN);
+            CHECK(seen.insert(resp.id).second);  // no duplicates
+        }
+        // Everything not racing the retirement came back: the live
+        // connection absorbed the retired one's share.
+        CHECK(seen.size() >= kN / 2);
+        srv.join();
+        ::close(lfd);
+    }
+
+    // Regression: elastic reader spawn under concurrent accept churn
+    // (threads backend). Three client threads open eight persistent
+    // connections each — every one pins a reader for its whole life,
+    // so the accept loop must grow the reader pool while connections
+    // are being accepted and served. Every request on every
+    // connection must be answered and every stream must end at the
+    // server's FIN; under the CI TSan job this also pins down the
+    // reader_threads_ growth / stop() join ordering.
+    {
+        auto app = makeTestApp();
+        tb::net::TcpServer server(*app, 2);
+        CHECK(server.listening());
+        server.start();
+        constexpr unsigned kClientThreads = 3;
+        constexpr unsigned kConnsPerThread = 8;
+        constexpr uint64_t kReqsPerConn = 2;
+        std::atomic<unsigned> ok{0};
+        std::vector<std::thread> clients;
+        for (unsigned t = 0; t < kClientThreads; t++) {
+            clients.emplace_back([&, t] {
+                std::vector<
+                    std::unique_ptr<tb::net::TcpClientTransport>>
+                    conns;
+                // Open all connections up front so they stay live
+                // concurrently — that is what forces the elastic
+                // spawn past the seeded reader count.
+                for (unsigned c = 0; c < kConnsPerThread; c++) {
+                    conns.push_back(
+                        std::make_unique<tb::net::TcpClientTransport>(
+                            "127.0.0.1", server.port()));
+                    if (!conns.back()->connected())
+                        return;
+                }
+                tb::util::Rng rng(100 + t);
+                for (unsigned c = 0; c < kConnsPerThread; c++) {
+                    for (uint64_t i = 0; i < kReqsPerConn; i++) {
+                        Request req;
+                        req.id = t * 1000 + c * 10 + i;
+                        req.payload = app->genRequest(rng);
+                        req.genNs = tb::util::monotonicNs();
+                        conns[c]->sendRequest(std::move(req));
+                    }
+                }
+                for (unsigned c = 0; c < kConnsPerThread; c++) {
+                    conns[c]->finishSend();
+                    uint64_t got = 0;
+                    Response resp;
+                    while (conns[c]->recvResponse(resp))
+                        got++;
+                    if (got == kReqsPerConn)
+                        ok.fetch_add(1);
+                }
+            });
+        }
+        for (auto& c : clients)
+            c.join();
+        CHECK_EQ(ok.load(), kClientThreads * kConnsPerThread);
         server.stop();
     }
 

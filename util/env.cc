@@ -1,0 +1,72 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tb::util {
+
+const char*
+envString(const char* name)
+{
+    return std::getenv(name);
+}
+
+bool
+envFlag(const char* name)
+{
+    return std::getenv(name) != nullptr;
+}
+
+uint64_t
+envU64(const char* name, uint64_t fallback, uint64_t min,
+       uint64_t max)
+{
+    const char* s = std::getenv(name);
+    if (s == nullptr)
+        return fallback;
+    // Reject '-' anywhere: strtoull skips leading whitespace and
+    // would wrap a negative value to a huge one without setting errno
+    // (a trailing '-' already fails the *end check).
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE ||
+        std::strchr(s, '-') != nullptr || v < min || v > max) {
+        TB_LOG_WARN("%s=\"%s\" is not an integer in [%llu..%llu]; "
+                    "keeping default %llu",
+                    name, s, static_cast<unsigned long long>(min),
+                    static_cast<unsigned long long>(max),
+                    static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return v;
+}
+
+double
+envPositiveDouble(const char* name, double fallback)
+{
+    const char* s = std::getenv(name);
+    if (s == nullptr)
+        return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
+        TB_LOG_WARN("%s=\"%s\" is not a positive number; keeping "
+                    "default %.3g",
+                    name, s, fallback);
+        return fallback;
+    }
+    return v;
+}
+
+uint16_t
+envPort(const char* name)
+{
+    return static_cast<uint16_t>(envU64(name, 0, 1, 65535));
+}
+
+}  // namespace tb::util

@@ -1,10 +1,10 @@
 #include "util/logging.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
 #include "util/clock.h"
+#include "util/env.h"
 
 namespace tb::util {
 
@@ -13,7 +13,9 @@ namespace {
 LogLevel
 parseThreshold()
 {
-    const char* env = std::getenv("TAILBENCH_LOG");
+    // envString never logs, so routing the log threshold through the
+    // env seam cannot recurse into logAt.
+    const char* env = envString("TAILBENCH_LOG");
     if (env == nullptr)
         return LogLevel::kWarn;
     if (std::strcmp(env, "debug") == 0)

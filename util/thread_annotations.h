@@ -1,0 +1,87 @@
+#ifndef TAILBENCH_UTIL_THREAD_ANNOTATIONS_H_
+#define TAILBENCH_UTIL_THREAD_ANNOTATIONS_H_
+
+/**
+ * @file
+ * Clang thread-safety-analysis attribute macros (tier 1 of the
+ * static-analysis layer): lock invariants written in the type system,
+ * so "field X is guarded by mutex M" and "f() must be called with M
+ * held" are compile-time facts instead of comment lore.
+ *
+ * Under Clang with -Wthread-safety (the TAILBENCH_THREAD_SAFETY CMake
+ * option turns it on as -Werror=thread-safety), an unguarded access
+ * to a TB_GUARDED_BY field or a call missing its TB_REQUIRES lock is
+ * a build error; tests/compile_fail/ seeds exactly those violations
+ * and asserts they are rejected, proving the annotations fire. Under
+ * GCC (which has no such analysis) every macro expands to nothing.
+ *
+ * Use through util/mutex.h (annotated Mutex/MutexLock/CondVar); raw
+ * std::mutex is invisible to the analysis. Policy (see README
+ * "Static analysis & concurrency invariants"): every new
+ * mutex-guarded member must carry TB_GUARDED_BY, and every function
+ * with a locking precondition TB_REQUIRES.
+ */
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TB_THREAD_ANNOTATION(x)  // no-op: GCC has no -Wthread-safety
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define TB_CAPABILITY(x) TB_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its
+ * dtor. */
+#define TB_SCOPED_CAPABILITY TB_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field or variable readable/writable only with @p x held. */
+#define TB_GUARDED_BY(x) TB_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer whose *pointee* is guarded by @p x (the pointer itself is
+ * not). */
+#define TB_PT_GUARDED_BY(x) TB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function precondition: the listed capabilities are held by the
+ * caller (and still held on return). */
+#define TB_REQUIRES(...) \
+    TB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (held on return). */
+#define TB_ACQUIRE(...) \
+    TB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define TB_RELEASE(...) \
+    TB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p ... (first arg
+ * is the success value). */
+#define TB_TRY_ACQUIRE(...) \
+    TB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function must be entered with the listed capabilities NOT held
+ * (it will acquire them itself) — documents and checks against
+ * self-deadlock. */
+#define TB_EXCLUDES(...) TB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Declares a lock-ordering edge: this capability is acquired before
+ * @p x wherever both are held. */
+#define TB_ACQUIRED_BEFORE(...) \
+    TB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/** Declares the reverse ordering edge. */
+#define TB_ACQUIRED_AFTER(...) \
+    TB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Function returns a reference to the capability guarding its
+ * result. */
+#define TB_RETURN_CAPABILITY(x) TB_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch for code whose safety argument the analysis cannot
+ * represent (e.g. "loop-thread-only by construction"). Always pair
+ * with a comment stating the manual proof. */
+#define TB_NO_THREAD_SAFETY_ANALYSIS \
+    TB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // TAILBENCH_UTIL_THREAD_ANNOTATIONS_H_
