@@ -1,0 +1,252 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+
+namespace tb::sim {
+
+namespace {
+
+/** Stream id lives in the key's top byte; set indexing masks it off
+ * so all streams share the same sets. */
+constexpr unsigned kStreamShift = 56;
+constexpr uint64_t kAddrMask = (1ull << kStreamShift) - 1;
+
+/** RRPV width 2: 0 = near re-reference, 3 = distant (victim). */
+constexpr uint8_t kRrpvMax = 3;
+constexpr uint8_t kRrpvLong = 2;
+
+/** DRRIP set dueling: sets s with s % kDuelMod == 0 are SRRIP
+ * leaders, == 1 BRRIP leaders; everyone else follows PSEL. */
+constexpr uint32_t kDuelMod = 64;
+constexpr int32_t kPselMax = 1023;
+constexpr int32_t kPselInit = 512;
+
+/** BRRIP inserts at distant RRPV except every 32nd fill. */
+constexpr uint32_t kBrripNearEvery = 32;
+
+}  // namespace
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geo, ReplPolicy policy)
+    : geo_(geo), policy_(policy),
+      lines_(static_cast<size_t>(geo.sets) * geo.ways),
+      psel_(kPselInit)
+{
+}
+
+uint32_t
+SetAssocCache::setOf(uint64_t key) const
+{
+    return static_cast<uint32_t>((key & kAddrMask) % geo_.sets);
+}
+
+SetAssocCache::Line*
+SetAssocCache::find(uint64_t key)
+{
+    Line* set = &lines_[static_cast<size_t>(setOf(key)) * geo_.ways];
+    for (uint32_t w = 0; w < geo_.ways; w++) {
+        if (set[w].valid && set[w].key == key)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+ReplPolicy
+SetAssocCache::setPolicy(uint32_t set) const
+{
+    if (policy_ != ReplPolicy::kDrrip)
+        return policy_;
+    // With fewer sets than two leader groups (toy test configs),
+    // duel degenerates to SRRIP.
+    if (geo_.sets < kDuelMod)
+        return ReplPolicy::kSrrip;
+    if (set % kDuelMod == 0)
+        return ReplPolicy::kSrrip;
+    if (set % kDuelMod == 1)
+        return ReplPolicy::kBrrip;
+    return psel_ < kPselInit ? ReplPolicy::kSrrip : ReplPolicy::kBrrip;
+}
+
+bool
+SetAssocCache::lookup(uint64_t key)
+{
+    counters_.accesses++;
+    if (Line* line = find(key)) {
+        line->rrpv = 0;
+        line->lruTick = ++tick_;
+        return true;
+    }
+    counters_.misses++;
+    // Leader-set misses steer the dueling selector: a miss under a
+    // leader's policy is a vote against it.
+    if (policy_ == ReplPolicy::kDrrip && geo_.sets >= kDuelMod) {
+        const uint32_t set = setOf(key);
+        if (set % kDuelMod == 0)
+            psel_ = std::min(psel_ + 1, kPselMax);
+        else if (set % kDuelMod == 1)
+            psel_ = std::max(psel_ - 1, 0);
+    }
+    return false;
+}
+
+uint32_t
+SetAssocCache::victimWay(uint32_t set, ReplPolicy policy)
+{
+    Line* s = &lines_[static_cast<size_t>(set) * geo_.ways];
+    for (uint32_t w = 0; w < geo_.ways; w++) {
+        if (!s[w].valid)
+            return w;
+    }
+    if (policy == ReplPolicy::kLru) {
+        uint32_t victim = 0;
+        for (uint32_t w = 1; w < geo_.ways; w++) {
+            if (s[w].lruTick < s[victim].lruTick)
+                victim = w;
+        }
+        return victim;
+    }
+    // RRIP: evict the first distant line, aging the whole set until
+    // one exists (bounded: each pass raises the max RRPV).
+    for (;;) {
+        for (uint32_t w = 0; w < geo_.ways; w++) {
+            if (s[w].rrpv >= kRrpvMax)
+                return w;
+        }
+        for (uint32_t w = 0; w < geo_.ways; w++)
+            s[w].rrpv++;
+    }
+}
+
+bool
+SetAssocCache::insert(uint64_t key, uint64_t* evicted)
+{
+    const uint32_t set = setOf(key);
+    const ReplPolicy policy = setPolicy(set);
+    const uint32_t way = victimWay(set, policy);
+    Line& line = lines_[static_cast<size_t>(set) * geo_.ways + way];
+    const bool had = line.valid;
+    if (had && evicted != nullptr)
+        *evicted = line.key;
+    line.key = key;
+    line.valid = true;
+    line.lruTick = ++tick_;
+    switch (policy) {
+    case ReplPolicy::kLru:
+        line.rrpv = 0;
+        break;
+    case ReplPolicy::kSrrip:
+        line.rrpv = kRrpvLong;
+        break;
+    case ReplPolicy::kBrrip:
+    case ReplPolicy::kDrrip:  // only via setPolicy's follower verdict
+        line.rrpv =
+            (++brripCtr_ % kBrripNearEvery == 0) ? kRrpvLong : kRrpvMax;
+        break;
+    }
+    return had;
+}
+
+bool
+SetAssocCache::invalidate(uint64_t key)
+{
+    if (Line* line = find(key)) {
+        line->valid = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::contains(uint64_t key) const
+{
+    const Line* set =
+        &lines_[static_cast<size_t>(setOf(key)) * geo_.ways];
+    for (uint32_t w = 0; w < geo_.ways; w++) {
+        if (set[w].valid && set[w].key == key)
+            return true;
+    }
+    return false;
+}
+
+HierarchyConfig
+HierarchyConfig::fromMachine(const MachineConfig& m)
+{
+    HierarchyConfig cfg;
+    const double bytes = std::max(m.llcMb, 1.0 / 1024.0) * 1024.0 * 1024.0;
+    const uint32_t lines =
+        std::max<uint32_t>(16, static_cast<uint32_t>(bytes) / kCacheLineBytes);
+    cfg.l3.ways = 16;
+    cfg.l3.sets = std::max<uint32_t>(1, lines / cfg.l3.ways);
+    return cfg;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& cfg,
+                               unsigned streams)
+    : l3_(cfg.l3, cfg.l3Policy)
+{
+    if (streams == 0)
+        streams = 1;
+    streams_.reserve(streams);
+    for (unsigned s = 0; s < streams; s++) {
+        streams_.push_back(
+            PerStream{SetAssocCache(cfg.l1i, ReplPolicy::kLru),
+                      SetAssocCache(cfg.l1d, ReplPolicy::kLru),
+                      SetAssocCache(cfg.l2, ReplPolicy::kLru)});
+    }
+}
+
+uint64_t
+CacheHierarchy::lineKey(uint64_t addr, unsigned stream)
+{
+    return ((addr / kCacheLineBytes) & kAddrMask) |
+        (static_cast<uint64_t>(stream & 0xff) << kStreamShift);
+}
+
+int
+CacheHierarchy::access(uint64_t addr, AccessKind kind, unsigned stream)
+{
+    const uint64_t key = lineKey(addr, stream);
+    PerStream& ps = streams_[stream];
+    SetAssocCache& l1 = kind == AccessKind::kIfetch ? ps.l1i : ps.l1d;
+    if (l1.lookup(key))
+        return 1;
+
+    int level;
+    if (ps.l2.lookup(key)) {
+        level = 2;
+    } else if (l3_.lookup(key)) {
+        level = 3;
+    } else {
+        level = 4;
+        uint64_t victim = 0;
+        if (l3_.insert(key, &victim)) {
+            // Inclusive L3: the evicted line may no longer live in
+            // any private level of the stream that owns it.
+            PerStream& vs = streams_[victim >> kStreamShift];
+            bool dropped = vs.l2.invalidate(victim);
+            dropped = vs.l1i.invalidate(victim) || dropped;
+            dropped = vs.l1d.invalidate(victim) || dropped;
+            if (dropped)
+                back_invals_++;
+        }
+    }
+    // Fill on the way back; private-level evictions are clean drops
+    // (no dirty-writeback modeling in the structural pass).
+    if (level >= 3)
+        ps.l2.insert(key, nullptr);
+    l1.insert(key, nullptr);
+    return level;
+}
+
+void
+CacheHierarchy::resetCounters()
+{
+    for (PerStream& ps : streams_) {
+        ps.l1i.resetCounters();
+        ps.l1d.resetCounters();
+        ps.l2.resetCounters();
+    }
+    l3_.resetCounters();
+    back_invals_ = 0;
+}
+
+}  // namespace tb::sim

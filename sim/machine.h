@@ -6,11 +6,16 @@
  * Simulated machine description, mirroring the paper's Table II
  * (8-core Xeon E5-2670 class, 20 MB LLC, DDR3-1333).
  *
- * This header carries only the configuration contract today; the
- * virtual-time SimHarness that consumes it (timing model, cache
- * hierarchy, sleep states, corunner interference) is a ROADMAP item.
- * Keeping the struct here lets table2_sysconfig and the sim-dependent
- * drivers compile against a stable interface.
+ * Two consumers share this contract:
+ *
+ *  - the virtual-time timing model (sim/sim_harness.h, PR 2), which
+ *    prices requests from freqGhz, the hit latencies, the DRAM
+ *    parameters, idealMemory, batchCorunners, and the sleep knobs;
+ *  - the structural cache hierarchy (sim/cache.h), which reads ONLY
+ *    llcMb — L3 ways are fixed at 16 and sets derive from llcMb (see
+ *    HierarchyConfig::fromMachine). The hit latencies are deliberately
+ *    unused there: the structural pass counts where each access was
+ *    served, and the timing model is what prices those events.
  */
 
 #include <cstdint>
@@ -46,8 +51,8 @@ struct MachineConfig {
 };
 
 /** Counters the timing simulator accumulates per run. Defined with
- * the config so drivers share one vocabulary; populated by the future
- * SimHarness. */
+ * the config so drivers share one vocabulary; populated by
+ * SimHarness over the measured window (lastStats()). */
 struct MachineStats {
     uint64_t instructions = 0;
     uint64_t cycles = 0;

@@ -1,0 +1,183 @@
+#ifndef TAILBENCH_SIM_TRACE_GEN_H_
+#define TAILBENCH_SIM_TRACE_GEN_H_
+
+/**
+ * @file
+ * Reuse-profile synthetic address-trace generator: turns an
+ * apps::AppProfile's Table I MPKI targets into an interleaved
+ * instruction-fetch + data-access stream whose *measured* miss rates
+ * through the structural cache hierarchy (sim/cache.h) converge
+ * toward those targets.
+ *
+ * Model. Each stream touches six regions whose reuse profiles pin
+ * them to one level of the hierarchy, so each knob steers one level:
+ *
+ *   code  hot   fits L1I/4; sequential fetch, wraps     (always hits)
+ *   code  cold  conflict walk over 16 L1I sets x 2*ways rows:
+ *               per-set reuse distance > associativity, so it misses
+ *               L1I on every touch yet stays L2-resident
+ *   data  hot   fits L1D/4; uniform                     (always hits)
+ *   data  l2    L2/4, uniform: bigger than L1D (misses it), lives
+ *               comfortably in L2
+ *   data  l3    conflict walk over 16 L2 sets x 4*ways rows: misses
+ *               L1D and L2 on every touch, spreads across (and stays
+ *               resident in) the much larger L3
+ *   data  mem   pointer-chase strides over 16x the L3; the walk
+ *               never revisits a line before wrapping, so it misses
+ *               every level
+ *
+ * The conflict regions are the key trick: a cyclic walk over a big
+ * region only misses once its first lap completes, which at low
+ * access rates takes longer than any realistic window — but a walk
+ * that packs more lines per set than the set has ways misses from
+ * the very first revisit, at any rate. Rate-independent miss
+ * behavior is what makes the per-level rates calibratable knobs.
+ *
+ * Every instruction issues one ifetch (hot loop, or a cold-region
+ * step at rate ifetchColdPerKi); data accesses fire at the region
+ * rates via a fractional accumulator. All randomness comes from
+ * util::Rng sub-streams derived from (seed, stream, purpose), so a
+ * fixed seed reproduces the exact trace.
+ *
+ * Calibration (measureTraceMpki). The region rates are only
+ * first-order estimates of per-level misses: the real tag arrays add
+ * conflict misses, DRRIP keeps a slice of the mem region resident,
+ * cold code and the data regions fight over the shared L2, and the
+ * inclusive L3 back-invalidates. A fixed-point loop absorbs all of
+ * that: run a short calibration trace, compare measured per-level
+ * MPKI against the profile's targets, rescale each rate by its
+ * target/measured ratio (clamped), repeat until within tolerance or
+ * the iteration cap. Degenerate profiles (all-zero targets,
+ * non-monotone L2 < L3 chains) are warned about and handled with
+ * clamps — the loop is bounded no matter what.
+ */
+
+#include <cstdint>
+
+#include "apps/common/app.h"
+#include "sim/cache.h"
+
+namespace tb::sim {
+
+/** Calibratable knobs: expected accesses per kilo-instruction into
+ * each miss-inducing region (hot regions are fixed background). */
+struct TraceParams {
+    double ifetchColdPerKi = 0.0;
+    double l2RegionPerKi = 0.0;
+    double l3RegionPerKi = 0.0;
+    double memRegionPerKi = 0.0;
+    /** L1-resident data accesses; realism ballast, always hits. */
+    double hotDataPerKi = 150.0;
+
+    /** First-order estimate from the profile's MPKI targets (assumes
+     * the nominal per-region miss probabilities; the fixed point
+     * refines against the measured ones). */
+    static TraceParams fromProfile(const apps::AppProfile& p);
+};
+
+/** Per-window tally of how deep each access had to go. Index 1..4 =
+ * level that served it (sim/cache.h convention). */
+struct TraceStats {
+    uint64_t instructions = 0;
+    uint64_t ifetchAtLevel[5] = {0, 0, 0, 0, 0};
+    uint64_t dataAtLevel[5] = {0, 0, 0, 0, 0};
+
+    double mpki(uint64_t events) const
+    {
+        return instructions == 0
+            ? 0.0
+            : static_cast<double>(events) * 1000.0 /
+                static_cast<double>(instructions);
+    }
+    double l1iMpki() const
+    {
+        return mpki(ifetchAtLevel[2] + ifetchAtLevel[3] +
+                    ifetchAtLevel[4]);
+    }
+    double l1dMpki() const
+    {
+        return mpki(dataAtLevel[2] + dataAtLevel[3] + dataAtLevel[4]);
+    }
+    /** Unified-L2 miss rate (code + data), Table I's convention. */
+    double l2Mpki() const
+    {
+        return mpki(ifetchAtLevel[3] + ifetchAtLevel[4] +
+                    dataAtLevel[3] + dataAtLevel[4]);
+    }
+    double l2DataMpki() const
+    {
+        return mpki(dataAtLevel[3] + dataAtLevel[4]);
+    }
+    double l3Mpki() const
+    {
+        return mpki(ifetchAtLevel[4] + dataAtLevel[4]);
+    }
+};
+
+/** Deterministic generator for one stream; region sizes derive from
+ * @p geo so the reuse distances straddle the right levels. */
+class TraceGenerator {
+  public:
+    TraceGenerator(const TraceParams& params, uint64_t seed,
+                   const HierarchyConfig& geo, unsigned stream = 0);
+
+    /** Runs @p kiloInstr thousand instructions through @p h,
+     * returning the tally for this window. Generator and cache state
+     * carry across calls (warmup then measure). */
+    TraceStats run(CacheHierarchy& h, uint64_t kiloInstr);
+
+  private:
+    TraceParams params_;
+    unsigned stream_;
+
+    // Independent sub-streams (derived from (seed, stream, purpose))
+    // so tuning one rate never perturbs another knob's draws.
+    util::Rng ifetch_rng_;
+    util::Rng data_rng_;
+    util::Rng pos_rng_;
+
+    // Simple regions (extent in lines).
+    uint64_t hot_code_lines_, hot_data_lines_, l2_lines_;
+    // Conflict regions: cols sets x rows lines per set; row stride =
+    // the set count of the level the region defeats.
+    uint64_t cold_cols_, cold_rows_, cold_row_stride_;
+    uint64_t l3_cols_, l3_rows_, l3_row_stride_;
+    // Mem region: full-period low-discrepancy chase (stride coprime
+    // with the extent), so no line repeats before the whole 16x-L3
+    // span has been walked.
+    uint64_t mem_lines_, mem_stride_;
+
+    // Walker state.
+    uint64_t hot_pc_ = 0;      // instruction index in the hot loop
+    uint64_t cold_idx_ = 0;    // cold-code walk position
+    uint64_t l3_idx_ = 0;      // l3-region walk position
+    uint64_t mem_pos_ = 0;     // mem-region chase position
+    double data_carry_ = 0.0;  // fractional data accesses owed
+};
+
+/** Structural MPKI measurement: per-level measured rates, plus how
+ * the calibration went. */
+struct MeasuredMpki {
+    double l1i = 0.0;
+    double l1d = 0.0;
+    double l2 = 0.0;
+    double l3 = 0.0;
+    uint64_t instructions = 0;
+    bool converged = false;
+    int iterations = 0;
+};
+
+/**
+ * Calibrates a trace against @p profile's L1I/L1D/L2/L3 MPKI targets
+ * (fixed-point, bounded iterations), then measures a fresh
+ * @p warmupKi-kiloinstruction warmup + @p measuredKi-kiloinstruction
+ * window through the default-machine hierarchy. Deterministic in
+ * (profile, seed, warmupKi, measuredKi).
+ */
+MeasuredMpki measureTraceMpki(const apps::AppProfile& profile,
+                              uint64_t seed, uint64_t warmupKi,
+                              uint64_t measuredKi);
+
+}  // namespace tb::sim
+
+#endif  // TAILBENCH_SIM_TRACE_GEN_H_

@@ -1,0 +1,228 @@
+/** Unit tests: sim/cache.{h,cc} — hand-built access sequences with
+ * known LRU/SRRIP/BRRIP outcomes, counter exactness, hierarchy fill
+ * paths, inclusion back-invalidation, and multi-stream L3
+ * contention. */
+
+#include "sim/cache.h"
+
+#include "util/rng.h"
+
+#include "tests/test_util.h"
+
+using tb::sim::AccessKind;
+using tb::sim::CacheGeometry;
+using tb::sim::CacheHierarchy;
+using tb::sim::HierarchyConfig;
+using tb::sim::ReplPolicy;
+using tb::sim::SetAssocCache;
+
+namespace {
+
+/** Miss-then-fill helper matching the hierarchy's demand-fill use. */
+bool
+touch(SetAssocCache& c, uint64_t key)
+{
+    if (c.lookup(key))
+        return true;
+    c.insert(key, nullptr);
+    return false;
+}
+
+void
+testLruExact()
+{
+    SetAssocCache c(CacheGeometry{1, 2}, ReplPolicy::kLru);
+    CHECK(!touch(c, 1));  // miss, fill
+    CHECK(touch(c, 1));   // hit
+    CHECK(!touch(c, 2));  // miss, fill; set = {1, 2}
+    CHECK(touch(c, 1));   // hit — 2 is now LRU
+    uint64_t evicted = 0;
+    CHECK(!c.lookup(3));
+    CHECK(c.insert(3, &evicted));  // victim must be the LRU line
+    CHECK_EQ(evicted, 2);
+    CHECK(c.contains(1));
+    CHECK(!c.contains(2));
+    CHECK(c.contains(3));
+    // Counter exactness: 5 lookups, 3 misses; contains() counts
+    // nothing.
+    CHECK_EQ(c.counters().accesses, 5u);
+    CHECK_EQ(c.counters().misses, 3u);
+    c.resetCounters();
+    CHECK_EQ(c.counters().accesses, 0u);
+}
+
+void
+testLruVictimIsOldest()
+{
+    // 4-way set: fill 4, re-touch in a known order, 5th insert must
+    // evict the least recently used.
+    SetAssocCache c(CacheGeometry{1, 4}, ReplPolicy::kLru);
+    for (uint64_t k = 1; k <= 4; k++)
+        touch(c, k);
+    // Recency order now 1 < 2 < 3 < 4; touch 1 and 2 again.
+    CHECK(touch(c, 1));
+    CHECK(touch(c, 2));
+    uint64_t evicted = 0;
+    CHECK(!c.lookup(5));
+    CHECK(c.insert(5, &evicted));
+    CHECK_EQ(evicted, 3);
+}
+
+void
+testSrripAgingAndScanResistance()
+{
+    SetAssocCache c(CacheGeometry{1, 2}, ReplPolicy::kSrrip);
+    touch(c, 1);         // inserted at long RRPV (2)
+    touch(c, 2);         // inserted at long RRPV (2)
+    CHECK(touch(c, 1));  // hit promotes 1 to RRPV 0
+    // Victim search ages both (1 -> 1, 2 -> 3) and evicts 2.
+    uint64_t evicted = 0;
+    CHECK(!c.lookup(3));
+    CHECK(c.insert(3, &evicted));
+    CHECK_EQ(evicted, 2);
+    CHECK(c.contains(1));
+    CHECK(c.contains(3));
+}
+
+void
+testBrripThrashResistance()
+{
+    // BRRIP inserts at distant RRPV (except every 32nd fill), so a
+    // reused line survives a long stream of one-shot fills — the
+    // property that makes it win on thrash patterns.
+    SetAssocCache c(CacheGeometry{1, 4}, ReplPolicy::kBrrip);
+    for (uint64_t k = 1; k <= 4; k++)
+        touch(c, k);
+    CHECK(touch(c, 1));  // protect line 1 (RRPV 0)
+    for (uint64_t k = 10; k < 30; k++)
+        touch(c, k);  // 20 one-shot fills
+    CHECK(c.contains(1));
+    CHECK(touch(c, 1));
+}
+
+void
+testDrripDeterminism()
+{
+    // DRRIP's dueling state (PSEL, BRRIP counter) is deterministic:
+    // two caches fed the identical sequence end bit-identical.
+    SetAssocCache a(CacheGeometry{128, 4}, ReplPolicy::kDrrip);
+    SetAssocCache b(CacheGeometry{128, 4}, ReplPolicy::kDrrip);
+    tb::util::Rng rng(7);
+    for (int i = 0; i < 20000; i++) {
+        const uint64_t key = rng.nextInt(2048);
+        touch(a, key);
+        touch(b, key);
+    }
+    CHECK_EQ(a.counters().accesses, b.counters().accesses);
+    CHECK_EQ(a.counters().misses, b.counters().misses);
+    CHECK(a.counters().misses > 0);
+    CHECK(a.counters().misses < a.counters().accesses);
+}
+
+HierarchyConfig
+toyConfig()
+{
+    HierarchyConfig cfg;
+    cfg.l1i = CacheGeometry{1, 1};
+    cfg.l1d = CacheGeometry{1, 1};
+    cfg.l2 = CacheGeometry{1, 2};
+    cfg.l3 = CacheGeometry{1, 2};
+    cfg.l3Policy = ReplPolicy::kLru;
+    return cfg;
+}
+
+void
+testHierarchyFillPath()
+{
+    CacheHierarchy h(toyConfig());
+    const uint64_t a = 0x1000;
+    // Cold access goes to memory and fills every level.
+    CHECK_EQ(h.access(a, AccessKind::kData), 4);
+    CHECK_EQ(h.access(a, AccessKind::kData), 1);
+    CHECK_EQ(h.l1d().accesses, 2u);
+    CHECK_EQ(h.l1d().misses, 1u);
+    CHECK_EQ(h.l2().accesses, 1u);
+    CHECK_EQ(h.l2().misses, 1u);
+    CHECK_EQ(h.l3().accesses, 1u);
+    CHECK_EQ(h.l3().misses, 1u);
+    // Ifetch uses the split L1I; the L1D state is untouched by it.
+    const uint64_t code = 0x2000;
+    CHECK_EQ(h.access(code, AccessKind::kIfetch), 4);
+    CHECK_EQ(h.access(code, AccessKind::kIfetch), 1);
+    CHECK_EQ(h.l1i().accesses, 2u);
+    CHECK_EQ(h.l1i().misses, 1u);
+    CHECK_EQ(h.l1d().accesses, 2u);
+}
+
+void
+testInclusionBackInvalidation()
+{
+    CacheHierarchy h(toyConfig());
+    const uint64_t a = 0x10000;
+    const uint64_t b = 0x20000;
+    const uint64_t c = 0x30000;
+    CHECK_EQ(h.access(a, AccessKind::kData), 4);  // L3 = {A}
+    CHECK_EQ(h.access(b, AccessKind::kData), 4);  // L3 = {A, B}
+    // A fell out of the 1-line L1D but still lives in L2.
+    CHECK_EQ(h.access(a, AccessKind::kData), 2);
+    CHECK_EQ(h.backInvalidations(), 0u);
+    // C misses everywhere; the inclusive L3 evicts its LRU line (A —
+    // the L2 hit above never touched L3 recency) and must
+    // back-invalidate A out of the private levels.
+    CHECK_EQ(h.access(c, AccessKind::kData), 4);
+    CHECK_EQ(h.backInvalidations(), 1u);
+    // A is gone from the whole hierarchy, not just L3.
+    CHECK_EQ(h.access(a, AccessKind::kData), 4);
+}
+
+void
+testMultiStreamContention()
+{
+    // Two streams, shared 2-line L3: the same address from different
+    // streams is two distinct lines fighting for the same set.
+    HierarchyConfig cfg = toyConfig();
+    CacheHierarchy h(cfg, 2);
+    CHECK_EQ(h.streams(), 2u);
+    const uint64_t x = 0x40000;
+    CHECK_EQ(h.access(x, AccessKind::kData, 0), 4);
+    CHECK_EQ(h.access(x, AccessKind::kData, 1), 4);  // no cross-hit
+    // Stream 1's copy is private: hits its own L1D.
+    CHECK_EQ(h.access(x, AccessKind::kData, 1), 1);
+    // A new stream-0 line evicts stream 0's x (L3 LRU), which must
+    // be back-invalidated from stream 0's privates only.
+    CHECK_EQ(h.access(x + 0x100000, AccessKind::kData, 0), 4);
+    CHECK_EQ(h.backInvalidations(), 1u);
+    CHECK_EQ(h.access(x, AccessKind::kData, 0), 4);  // stream 0 lost it
+    // Per-stream counters are separate.
+    CHECK_EQ(h.l1d(1).accesses, 2u);
+    CHECK_EQ(h.l1d(1).misses, 1u);
+}
+
+void
+testGeometryFromMachine()
+{
+    tb::sim::MachineConfig m;  // 20 MB LLC
+    const HierarchyConfig cfg = HierarchyConfig::fromMachine(m);
+    CHECK_EQ(cfg.l3.ways, 16u);
+    // 20 MB / 64 B / 16 ways.
+    CHECK_EQ(cfg.l3.sets, 20480u);
+    m.llcMb = 2.0;
+    CHECK_EQ(HierarchyConfig::fromMachine(m).l3.sets, 2048u);
+}
+
+}  // namespace
+
+int
+main()
+{
+    testLruExact();
+    testLruVictimIsOldest();
+    testSrripAgingAndScanResistance();
+    testBrripThrashResistance();
+    testDrripDeterminism();
+    testHierarchyFillPath();
+    testInclusionBackInvalidation();
+    testMultiStreamContention();
+    testGeometryFromMachine();
+    return TEST_MAIN_RESULT();
+}
