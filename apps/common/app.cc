@@ -9,7 +9,7 @@ namespace tb::apps {
 App::~App() = default;
 
 RequestCost
-App::costFor(const std::string& request) const
+App::costFor(std::string_view request) const
 {
     RequestCost cost;
     cost.serviceNs = serviceNsFor(request);

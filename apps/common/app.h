@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.h"
@@ -105,15 +106,21 @@ class App {
      * Processes one request, doing real work against the dataset for
      * the request's deterministic service time. Thread-safe. Returns a
      * checksum so the work cannot be optimized away.
+     *
+     * Takes a string_view so the serving hot path can hand over an
+     * arena-backed payload without materializing a std::string
+     * (std::string arguments still convert implicitly). The view is
+     * NOT guaranteed NUL-terminated — implementations must parse
+     * bounded, never via c_str()-style APIs.
      */
-    virtual uint64_t process(const std::string& request) = 0;
+    virtual uint64_t process(std::string_view request) = 0;
 
     /**
      * The deterministic model service time (ns) for @p request at the
      * current config — what process() targets. Used for
      * reproducibility checks and by the virtual-time simulator.
      */
-    virtual int64_t serviceNsFor(const std::string& request) const = 0;
+    virtual int64_t serviceNsFor(std::string_view request) const = 0;
 
     /**
      * Virtual cost hook for the simulator: the model service time of
@@ -121,7 +128,7 @@ class App {
      * Pure function of (payload, AppConfig::seed), like serviceNsFor;
      * apps with a real instruction model can override.
      */
-    virtual RequestCost costFor(const std::string& request) const;
+    virtual RequestCost costFor(std::string_view request) const;
 
     virtual AppProfile profile() const = 0;
 

@@ -64,7 +64,7 @@ constexpr size_t kNumSpecs = sizeof(kSpecs) / sizeof(kSpecs[0]);
 
 /** FNV-1a over the payload bytes. */
 uint64_t
-fnv1a(const std::string& s)
+fnv1a(std::string_view s)
 {
     uint64_t h = 0xcbf29ce484222325ull;
     for (unsigned char c : s) {
@@ -156,7 +156,7 @@ class SyntheticApp final : public App {
     }
 
     uint64_t
-    process(const std::string& request) override
+    process(std::string_view request) override
     {
         const uint64_t h = fnv1a(request) ^ hash_seed_;
         const int64_t target = sampleServiceNs(h);
@@ -179,7 +179,7 @@ class SyntheticApp final : public App {
     }
 
     int64_t
-    serviceNsFor(const std::string& request) const override
+    serviceNsFor(std::string_view request) const override
     {
         return sampleServiceNs(fnv1a(request) ^ hash_seed_);
     }
@@ -230,7 +230,7 @@ class SyntheticApp final : public App {
 
     /** ~0.5 us of kind-specific work; read-only on the dataset. */
     uint64_t
-    workChunk(const std::string& request, uint64_t h, uint64_t iter)
+    workChunk(std::string_view request, uint64_t h, uint64_t iter)
     {
         uint64_t acc = 0;
         switch (spec_.kind) {
@@ -278,13 +278,23 @@ class SyntheticApp final : public App {
         return acc;
     }
 
+    /** Bounded manual decimal parse of the key after the first space:
+     * arena-backed payload views are not NUL-terminated, so
+     * strtoull-style c_str() parsing is off the table here. */
     static uint64_t
-    parseKey(const std::string& request)
+    parseKey(std::string_view request)
     {
         const size_t sp = request.find(' ');
-        if (sp == std::string::npos)
+        if (sp == std::string_view::npos)
             return 0;
-        return std::strtoull(request.c_str() + sp + 1, nullptr, 10);
+        uint64_t key = 0;
+        for (size_t i = sp + 1; i < request.size(); i++) {
+            const char c = request[i];
+            if (c < '0' || c > '9')
+                break;
+            key = key * 10 + static_cast<uint64_t>(c - '0');
+        }
+        return key;
     }
 
     const Spec& spec_;

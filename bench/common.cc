@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "core/methodology.h"
+#include "util/alloc_probe.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -26,6 +27,9 @@ BenchSettings::fromEnv()
     s.fast = util::envFlag("TAILBENCH_FAST");
     s.pinWorkers = util::envFlag("TAILBENCH_PIN_WORKERS");
     s.seed = util::envU64("TAILBENCH_SEED", s.seed);
+    // Every driver funnels through here, so this is where
+    // TAILBENCH_ALLOC_PROBE arms the hot-path counters.
+    util::probe::initFromEnv();
     return s;
 }
 

@@ -54,6 +54,7 @@
 #include "bench/common.h"
 #include "core/client.h"
 #include "net/server_harness.h"
+#include "util/alloc_probe.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -172,6 +173,10 @@ struct Cell {
     double satQps = 0.0;
     core::RunResult at70;
     unsigned threads = 0;
+    /** Response-path write syscalls per request during the 70%-load
+     * run (kRespWrites delta / requests incl. warmup) — the
+     * coalescing win, measured. */
+    double writesPerReq = 0.0;
 };
 
 }  // namespace
@@ -180,6 +185,9 @@ int
 main()
 {
     const bench::BenchSettings s = bench::BenchSettings::fromEnv();
+    // Always-on here: the wr/req column is part of the figure, and
+    // the counters are relaxed-atomic cheap.
+    util::probe::setEnabled(true);
     bench::printHeader(
         "Fig. 10: connection scaling — io backend x connection "
         "count");
@@ -229,9 +237,9 @@ main()
                 app_name.c_str(), workers, cap, sat_offered);
     std::printf("  %6s", "conns");
     for (int m = 0; m < 2; m++)
-        std::printf("  %8s:sat %8s %6s",
+        std::printf("  %8s:sat %8s %6s %7s",
                     net::ioModeName(io_modes[m].mode), "p95@70%",
-                    "thr");
+                    "thr", "wr/req");
     std::printf("\n");
 
     std::vector<Cell> cells;
@@ -255,17 +263,27 @@ main()
             }
             cell.satQps = util::percentileOf(achieved, 50.0);
             // Tail latency at equal (70% of calibrated capacity)
-            // load.
+            // load, with the response-write syscall count taken
+            // around the same run.
             cell.offeredQps = lat_offered;
+            const uint64_t wr_before =
+                util::probe::value(util::probe::kRespWrites);
             cell.at70 = bench::measureAt(
                 h, *app, cell.offeredQps, workers, budget,
                 s.seed + conns + 1, /*keep_samples=*/false,
                 s.pinWorkers);
+            const uint64_t wr_after =
+                util::probe::value(util::probe::kRespWrites);
+            const uint64_t total_reqs =
+                budget + std::max<uint64_t>(50, budget / 10);
+            cell.writesPerReq = static_cast<double>(
+                                    wr_after - wr_before) /
+                static_cast<double>(total_reqs);
             cell.threads = h.peakThreads();
-            std::printf(" %12.0f %8s %6u", cell.satQps,
+            std::printf(" %12.0f %8s %6u %7.3f", cell.satQps,
                         bench::fmtP95Cell(cell.at70, cell.offeredQps)
                             .c_str(),
-                        cell.threads);
+                        cell.threads, cell.writesPerReq);
             cells.push_back(std::move(cell));
         }
         std::printf("\n");
@@ -320,6 +338,7 @@ main()
         json.num("p99_ns",
                  static_cast<double>(c.at70.latency.sojourn.p99Ns));
         json.num("process_threads", c.threads);
+        json.num("write_syscalls_per_req", c.writesPerReq);
         json.boolean("gen_lagged",
                      bench::genLagInvalidates(c.at70, c.offeredQps));
         json.endObject();

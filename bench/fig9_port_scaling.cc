@@ -27,6 +27,10 @@
  * TAILBENCH_PIN_WORKERS pins worker w to CPU w so shard-per-worker
  * numbers are not confounded by OS migration; the header line reports
  * the pinned count actually achieved (RunResult::pinnedWorkers).
+ *
+ * Besides the table, the run writes BENCH_fig9.json (run config, git
+ * rev, per-cell saturation and 70%-load percentiles) into the working
+ * directory for machine-readable perf tracking.
  */
 
 #include <cstdio>
@@ -92,6 +96,16 @@ makeHarness(const std::string& transport, core::QueuePolicy policy)
     return std::make_unique<net::NetworkedHarness>(popts);
 }
 
+struct Cell {
+    std::string app;
+    std::string transport;
+    std::string policy;
+    unsigned workers = 0;
+    double satQps = 0.0;
+    double offeredQps = 0.0;
+    core::RunResult at70;
+};
+
 }  // namespace
 
 int
@@ -110,6 +124,7 @@ main()
         s.fast ? std::vector<unsigned>{1, 4}
                : std::vector<unsigned>{1, 2, 4};
 
+    std::vector<Cell> cells;
     for (const auto& name : app_names) {
         auto app = bench::makeBenchApp(name, s);
         const uint64_t budget = bench::requestBudget(name, s);
@@ -142,6 +157,15 @@ main()
                         s.pinWorkers);
                     std::printf(" %17.0f %10s", cap,
                                 bench::fmtP95Cell(r, qps).c_str());
+                    Cell cell;
+                    cell.app = name;
+                    cell.transport = transport;
+                    cell.policy = core::queuePolicyName(p);
+                    cell.workers = w;
+                    cell.satQps = cap;
+                    cell.offeredQps = qps;
+                    cell.at70 = r;
+                    cells.push_back(std::move(cell));
                 }
                 std::printf("\n");
             }
@@ -173,5 +197,41 @@ main()
         }
         std::printf("\n");
     }
+
+    // Machine-readable report, same shape as BENCH_fig10.json.
+    bench::JsonWriter json;
+    json.beginObject();
+    json.str("figure", "fig9_port_scaling");
+    json.str("git_rev", bench::gitRevision());
+    json.beginObject("config");
+    json.num("size_factor", s.sizeFactor);
+    json.num("seed", static_cast<double>(s.seed));
+    json.boolean("fast", s.fast);
+    json.boolean("pin_workers", s.pinWorkers);
+    json.endObject();
+    json.beginArray("points");
+    for (const Cell& c : cells) {
+        json.beginObject();
+        json.str("app", c.app);
+        json.str("transport", c.transport);
+        json.str("policy", c.policy);
+        json.num("workers", c.workers);
+        json.num("saturation_qps", c.satQps);
+        json.num("offered_qps", c.offeredQps);
+        json.num("achieved_qps", c.at70.achievedQps);
+        json.num("p50_ns",
+                 static_cast<double>(c.at70.latency.sojourn.p50Ns));
+        json.num("p95_ns",
+                 static_cast<double>(c.at70.latency.sojourn.p95Ns));
+        json.num("p99_ns",
+                 static_cast<double>(c.at70.latency.sojourn.p99Ns));
+        json.boolean("gen_lagged",
+                     bench::genLagInvalidates(c.at70, c.offeredQps));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    if (bench::writeTextFile("BENCH_fig9.json", json.text()))
+        std::printf("\n  wrote BENCH_fig9.json\n");
     return 0;
 }

@@ -12,19 +12,41 @@
  * methodology exists to avoid. Memory is bounded in practice by run
  * length (measuredRequests).
  *
+ * Hot-path shape (the PR-9 fast path):
+ *
+ *   storage   one std::vector plus a consumed-prefix index (head_)
+ *             instead of std::deque — a deque allocates a node every
+ *             few elements, which alone breaks the zero-allocation
+ *             steady state. The vector's capacity is retained across
+ *             drain cycles (clear-on-empty), and a long-lived consumed
+ *             prefix is compacted amortized-O(1) on the push side.
+ *   notify    gated on the waiter count, not fired per push: a
+ *             condvar notify with nobody waiting is a wasted futex
+ *             syscall on every single request at load. waiters_ counts
+ *             threads inside a cv wait; pushes notify only when it is
+ *             nonzero. This is strictly safer than the naive
+ *             "notify on empty->nonempty transition", which strands a
+ *             second waiter when two pushes race one wakeup (the
+ *             regression test in tests/test_queue.cc pins this down).
+ *   batching  pushBatch moves N items under one lock acquisition and
+ *             fires at most one notify; popAll swaps the entire
+ *             backlog out in O(1) when the consumed prefix is empty.
+ *
  * Lock invariant (compile-checked under -Wthread-safety, see
- * util/thread_annotations.h): queue_ and closed_ are readable and
- * writable only with mu_ held; cv_ signals "queue_ non-empty or
- * closed_", and every wait is the explicit re-check loop over exactly
- * that predicate.
+ * util/thread_annotations.h): queue_, head_, waiters_ and closed_ are
+ * readable and writable only with mu_ held; cv_ signals "pending item
+ * or closed", and every wait is the explicit re-check loop over
+ * exactly that predicate with waiters_ bumped around the wait.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "util/alloc_probe.h"
+#include "util/arena.h"
 #include "util/mutex.h"
 
 namespace tb::core {
@@ -37,10 +59,13 @@ enum class PopResult {
 };
 
 /** One in-flight request. genNs is the scheduled generation time —
- * assigned by the open-loop generator before the send, never after. */
+ * assigned by the open-loop generator before the send, never after.
+ * The payload is a util::PayloadRef: arena-backed on the reactor hot
+ * path, an owning string everywhere else (string assignment keeps
+ * working — the in-process and threads backends are unchanged). */
 struct Request {
     uint64_t id = 0;
-    std::string payload;
+    util::PayloadRef payload;
     int64_t genNs = 0;
     /**
      * Transport-private routing context, echoed verbatim into the
@@ -64,11 +89,54 @@ class BlockingQueue {
     void
     push(T&& item)
     {
+        bool wake;
         {
             util::MutexLock lock(mu_);
+            compactLocked();
             queue_.push_back(std::move(item));
+            wake = waiters_ > 0;
         }
-        cv_.notifyOne();
+        if (wake)
+            notifyOne();
+    }
+
+    /**
+     * Moves @p n items into the queue under ONE lock acquisition with
+     * at most one notify — the producer-side half of the batched hand-
+     * off (a reactor read event delivers its whole frame batch here).
+     */
+    void
+    pushBatch(T* items, size_t n)
+    {
+        if (n == 0)
+            return;
+        size_t waiting;
+        {
+            util::MutexLock lock(mu_);
+            compactLocked();
+            queue_.reserve(queue_.size() + n);
+            for (size_t i = 0; i < n; i++)
+                queue_.push_back(std::move(items[i]));
+            waiting = waiters_;
+        }
+        if (waiting == 0)
+            return;
+        // With several consumers parked and several items landed, one
+        // wake would leave work sitting next to idle consumers; a
+        // single item (or single waiter) needs only one.
+        if (n == 1 || waiting == 1)
+            notifyOne();
+        else
+            notifyAll();
+    }
+
+    /** pushBatch from a vector; the vector is emptied (elements moved
+     * out), with its capacity retained for the caller's reuse. */
+    void
+    pushBatch(std::vector<T>& items)
+    {
+        pushBatch(items.data(), items.size());
+        items.clear();
     }
 
     /**
@@ -79,12 +147,14 @@ class BlockingQueue {
     pop(T& out)
     {
         util::MutexLock lock(mu_);
-        while (queue_.empty() && !closed_)
+        while (pendingLocked() == 0 && !closed_) {
+            waiters_++;
             cv_.wait(lock);
-        if (queue_.empty())
+            waiters_--;
+        }
+        if (pendingLocked() == 0)
             return false;
-        out = std::move(queue_.front());
-        queue_.pop_front();
+        takeFrontLocked(out);
         return true;
     }
 
@@ -98,14 +168,15 @@ class BlockingQueue {
     {
         const auto deadline = std::chrono::steady_clock::now() + d;
         util::MutexLock lock(mu_);
-        while (queue_.empty() && !closed_) {
-            if (cv_.waitUntil(lock, deadline) ==
-                std::cv_status::timeout)
+        while (pendingLocked() == 0 && !closed_) {
+            waiters_++;
+            const std::cv_status st = cv_.waitUntil(lock, deadline);
+            waiters_--;
+            if (st == std::cv_status::timeout)
                 break;
         }
-        if (!queue_.empty()) {
-            out = std::move(queue_.front());
-            queue_.pop_front();
+        if (pendingLocked() != 0) {
+            takeFrontLocked(out);
             return PopResult::kItem;
         }
         return closed_ ? PopResult::kClosed : PopResult::kTimeout;
@@ -123,13 +194,50 @@ class BlockingQueue {
         if (max == 0)
             return 0;
         util::MutexLock lock(mu_);
-        while (queue_.empty() && !closed_)
+        while (pendingLocked() == 0 && !closed_) {
+            waiters_++;
             cv_.wait(lock);
-        size_t n = 0;
-        while (!queue_.empty() && n < max) {
-            out.push_back(std::move(queue_.front()));
-            queue_.pop_front();
-            n++;
+            waiters_--;
+        }
+        const size_t n = std::min(max, pendingLocked());
+        out.reserve(out.size() + n);
+        for (size_t i = 0; i < n; i++) {
+            out.push_back(std::move(queue_[head_]));
+            head_++;
+        }
+        resetIfDrainedLocked();
+        return n;
+    }
+
+    /**
+     * Blocking whole-backlog pop: waits like pop(), then takes
+     * EVERYTHING — by an O(1) vector swap when the consumed prefix is
+     * empty (the steady state: @p out comes back empty each round, so
+     * the two vectors' capacities ping-pong with zero allocation).
+     * @p out is cleared first. Returns the count; 0 only when closed
+     * AND drained.
+     */
+    size_t
+    popAll(std::vector<T>& out)
+    {
+        out.clear();
+        util::MutexLock lock(mu_);
+        while (pendingLocked() == 0 && !closed_) {
+            waiters_++;
+            cv_.wait(lock);
+            waiters_--;
+        }
+        const size_t n = pendingLocked();
+        if (n == 0)
+            return 0;
+        if (head_ == 0) {
+            queue_.swap(out);
+        } else {
+            out.reserve(n);
+            for (size_t i = head_; i < queue_.size(); i++)
+                out.push_back(std::move(queue_[i]));
+            queue_.clear();
+            head_ = 0;
         }
         return n;
     }
@@ -140,10 +248,9 @@ class BlockingQueue {
     tryPop(T& out)
     {
         util::MutexLock lock(mu_);
-        if (queue_.empty())
+        if (pendingLocked() == 0)
             return false;
-        out = std::move(queue_.front());
-        queue_.pop_front();
+        takeFrontLocked(out);
         return true;
     }
 
@@ -153,12 +260,15 @@ class BlockingQueue {
     tryPopBatch(std::vector<T>& out, size_t max)
     {
         util::MutexLock lock(mu_);
-        size_t n = 0;
-        while (!queue_.empty() && n < max) {
-            out.push_back(std::move(queue_.front()));
-            queue_.pop_front();
-            n++;
+        const size_t n = std::min(max, pendingLocked());
+        if (n == 0)
+            return 0;
+        out.reserve(out.size() + n);
+        for (size_t i = 0; i < n; i++) {
+            out.push_back(std::move(queue_[head_]));
+            head_++;
         }
+        resetIfDrainedLocked();
         return n;
     }
 
@@ -170,6 +280,8 @@ class BlockingQueue {
             util::MutexLock lock(mu_);
             closed_ = true;
         }
+        // Shutdown path, not the hot path: wake everyone
+        // unconditionally (and don't count it as a hot-path notify).
         cv_.notifyAll();
     }
 
@@ -177,13 +289,73 @@ class BlockingQueue {
     size() const
     {
         util::MutexLock lock(mu_);
-        return queue_.size();
+        return pendingLocked();
     }
 
   private:
+    size_t
+    pendingLocked() const TB_REQUIRES(mu_)
+    {
+        return queue_.size() - head_;
+    }
+
+    void
+    takeFrontLocked(T& out) TB_REQUIRES(mu_)
+    {
+        out = std::move(queue_[head_]);
+        head_++;
+        resetIfDrainedLocked();
+    }
+
+    /** Drained: drop every (already moved-from) element but keep the
+     * vector's capacity for the next burst. */
+    void
+    resetIfDrainedLocked() TB_REQUIRES(mu_)
+    {
+        if (head_ == queue_.size()) {
+            queue_.clear();
+            head_ = 0;
+        }
+    }
+
+    /**
+     * Amortized compaction of a long-lived consumed prefix (a queue
+     * that never fully drains would otherwise grow without bound).
+     * The half-size trigger makes the erase cost O(1) amortized per
+     * element pushed.
+     */
+    void
+    compactLocked() TB_REQUIRES(mu_)
+    {
+        if (head_ > kCompactMin && head_ * 2 >= queue_.size()) {
+            queue_.erase(queue_.begin(),
+                         queue_.begin() +
+                             static_cast<ptrdiff_t>(head_));
+            head_ = 0;
+        }
+    }
+
+    void
+    notifyOne()
+    {
+        util::probe::add(util::probe::kQueueNotifies);
+        cv_.notifyOne();
+    }
+
+    void
+    notifyAll()
+    {
+        util::probe::add(util::probe::kQueueNotifies);
+        cv_.notifyAll();
+    }
+
+    static constexpr size_t kCompactMin = 1024;
+
     mutable util::Mutex mu_;
     util::CondVar cv_;
-    std::deque<T> queue_ TB_GUARDED_BY(mu_);
+    std::vector<T> queue_ TB_GUARDED_BY(mu_);
+    size_t head_ TB_GUARDED_BY(mu_) = 0;
+    size_t waiters_ TB_GUARDED_BY(mu_) = 0;
     bool closed_ TB_GUARDED_BY(mu_) = false;
 };
 

@@ -101,10 +101,12 @@ ServiceLoop::workerBody(unsigned worker)
         pinned_.fetch_add(1);
     port_.bindWorker(worker);
     std::vector<Request> batch;
+    std::vector<Response> resps;
     while (port_.recvReqBatch(batch, kBatchBound) > 0) {
         for (Request& req : batch) {
             const int64_t start = util::monotonicNs();
-            const uint64_t checksum = app_.process(req.payload);
+            const uint64_t checksum =
+                app_.process(req.payload.view());
             const int64_t end = util::monotonicNs();
             Response resp;
             resp.id = req.id;
@@ -113,8 +115,13 @@ ServiceLoop::workerBody(unsigned worker)
             resp.timing.startNs = start;
             resp.timing.endNs = end;
             resp.ctx = req.ctx;
-            port_.sendResp(std::move(resp));
+            if (opts_.batchResponses)
+                resps.push_back(std::move(resp));
+            else
+                port_.sendResp(std::move(resp));
         }
+        if (!resps.empty())
+            port_.sendRespBatch(resps);  // clears resps
     }
     if (active_.fetch_sub(1) == 1)
         port_.closeResponses();

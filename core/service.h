@@ -42,6 +42,17 @@ struct ServiceOptions {
      * actually took on.
      */
     bool pinWorkers = false;
+    /**
+     * Send each recvReqBatch's responses through one sendRespBatch
+     * call (the coalesced path: one queue hand-off / socket write /
+     * wake per run). Off = the legacy per-response sendResp, kept
+     * selectable so microbench_hotpath can measure the per-frame
+     * cost it replaced. Latency note: a batch's responses are sent
+     * after its last request is processed, but off saturation
+     * batches are almost always size 1, so equal-load percentiles
+     * are unaffected (fig10 guards this).
+     */
+    bool batchResponses = true;
 };
 
 class ServiceLoop {

@@ -86,12 +86,41 @@ RequestPool::boundShard() const
 void
 RequestPool::push(Request&& req)
 {
-    const unsigned n = shardCount();
-    const unsigned s = req.ctx != 0
-        ? static_cast<unsigned>(req.ctx % n)
-        : static_cast<unsigned>(
-              rr_.fetch_add(1, std::memory_order_relaxed) % n);
+    const unsigned s = placeShard(req, shardCount());
     shards_[s]->push(std::move(req));
+}
+
+void
+RequestPool::pushBatch(std::vector<Request>& reqs)
+{
+    const size_t total = reqs.size();
+    if (total == 0)
+        return;
+    const unsigned n = shardCount();
+    // Place each request exactly once (ctx-affine, round-robin for
+    // ctx == 0), then hand off maximal contiguous same-shard runs.
+    size_t run_start = 0;
+    unsigned run_shard = placeShard(reqs[0], n);
+    for (size_t i = 1; i <= total; i++) {
+        const unsigned s =
+            i < total ? placeShard(reqs[i], n) : run_shard + 1;
+        if (s == run_shard)
+            continue;
+        shards_[run_shard]->pushBatch(&reqs[run_start],
+                                      i - run_start);
+        run_start = i;
+        run_shard = s;
+    }
+    reqs.clear();
+}
+
+unsigned
+RequestPool::placeShard(const Request& req, unsigned shards)
+{
+    if (req.ctx != 0)
+        return static_cast<unsigned>(req.ctx % shards);
+    return static_cast<unsigned>(
+        rr_.fetch_add(1, std::memory_order_relaxed) % shards);
 }
 
 bool

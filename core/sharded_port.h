@@ -112,6 +112,15 @@ class RequestPool {
      * otherwise. Never blocks (shards are unbounded). */
     void push(Request&& req);
 
+    /**
+     * Places a batch, grouping contiguous same-shard runs so each run
+     * costs one lock acquisition and at most one notify. The payoff
+     * case is the reactor read path: every frame of one read event
+     * comes from one connection, whose ctx-affine placement makes the
+     * whole batch a single run. @p reqs is emptied (capacity kept).
+     */
+    void pushBatch(std::vector<Request>& reqs);
+
     /** Blocking scalar pop from the bound shard (stealing from
      * siblings under kShardedSteal). False when closed and — for the
      * bound shard, plus all shards under steal — drained. */
@@ -140,6 +149,7 @@ class RequestPool {
 
   private:
     unsigned boundShard() const;
+    unsigned placeShard(const Request& req, unsigned shards);
     bool stealFrom(unsigned thief, Request& out);
     size_t stealBatchFrom(unsigned thief, std::vector<Request>& out,
                           size_t max);

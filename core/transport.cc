@@ -23,6 +23,14 @@ ServerPort::bindWorker(unsigned)
 {
 }
 
+void
+ServerPort::sendRespBatch(std::vector<Response>& resps)
+{
+    for (Response& resp : resps)
+        sendResp(std::move(resp));
+    resps.clear();
+}
+
 InProcessTransport::InProcessTransport(const PortOptions& opts)
     : requests_(opts), port_(*this)
 {
@@ -37,7 +45,14 @@ InProcessTransport::sendRequest(Request&& req)
 bool
 InProcessTransport::recvResponse(Response& out)
 {
-    return responses_.pop(out);
+    if (rx_head_ >= rx_.size()) {
+        rx_head_ = 0;
+        if (responses_.popAll(rx_) == 0)
+            return false;
+    }
+    out = std::move(rx_[rx_head_]);
+    rx_head_++;
+    return true;
 }
 
 void
@@ -69,6 +84,12 @@ void
 InProcessTransport::Port::sendResp(Response&& resp)
 {
     owner_.responses_.push(std::move(resp));
+}
+
+void
+InProcessTransport::Port::sendRespBatch(std::vector<Response>& resps)
+{
+    owner_.responses_.pushBatch(resps);
 }
 
 void

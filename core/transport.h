@@ -103,6 +103,17 @@ class ServerPort {
      * called from many worker threads. */
     virtual void sendResp(Response&& resp) = 0;
 
+    /**
+     * Batched variant: delivers every response in @p resps (emptied on
+     * return, capacity kept for the caller's reuse). The ServiceLoop
+     * sends each recvReqBatch's worth of responses through this, so a
+     * port that can coalesce — one queue hand-off, one socket write,
+     * one cross-thread wake for the run — gets the whole batch at
+     * once. The default degrades to per-response sendResp. May be
+     * called from many worker threads.
+     */
+    virtual void sendRespBatch(std::vector<Response>& resps);
+
     /** Called exactly once, by the last worker to exit the service
      * loop: no further sendResp will happen. */
     virtual void closeResponses() = 0;
@@ -141,6 +152,7 @@ class InProcessTransport final : public Transport {
                             size_t max) override;
         void bindWorker(unsigned worker) override;
         void sendResp(Response&& resp) override;
+        void sendRespBatch(std::vector<Response>& resps) override;
         void closeResponses() override;
 
       private:
@@ -150,6 +162,11 @@ class InProcessTransport final : public Transport {
     RequestPool requests_;
     BlockingQueue<Response> responses_;
     Port port_;
+    /** Collector-side buffer: recvResponse (collector thread only,
+     * per the Transport contract) drains the whole response backlog
+     * in one popAll swap, then serves from here allocation-free. */
+    std::vector<Response> rx_;
+    size_t rx_head_ = 0;
 };
 
 }  // namespace tb::core

@@ -16,6 +16,8 @@
 #include <unordered_map>
 
 #include "net/wire.h"
+#include "util/alloc_probe.h"
+#include "util/arena.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/mutex.h"
@@ -98,6 +100,17 @@ ioOptionsFromEnv()
     }
     io.reactors = static_cast<unsigned>(
         util::envU64("TAILBENCH_REACTORS", 0, 1, 1024));
+    // envFlag is presence-only, but this knob's interesting direction
+    // is *disabling* a default-on optimization, so parse the value.
+    if (const char* v = util::envString("TAILBENCH_PAYLOAD_ARENA")) {
+        const std::string arena = v;
+        if (arena == "0" || arena == "off" || arena == "false")
+            io.payloadArena = false;
+        else if (arena != "1" && arena != "on" && arena != "true")
+            TB_LOG_WARN("TAILBENCH_PAYLOAD_ARENA=\"%s\" is not 0|1; "
+                        "keeping arena on",
+                        v);
+    }
     return io;
 }
 
@@ -119,8 +132,8 @@ ioOptionsFromEnv()
  */
 class Reactor {
   public:
-    Reactor(ReactorPool& pool, unsigned index)
-        : pool_(pool), index_(index)
+    Reactor(ReactorPool& pool, unsigned index, bool payloadArena)
+        : pool_(pool), index_(index), arena_enabled_(payloadArena)
     {
     }
 
@@ -177,32 +190,48 @@ class Reactor {
         wake();
     }
 
+    void
+    postResponse(const core::Response& resp)
+    {
+        postResponseRun(&resp, 1);
+    }
+
     /**
-     * Hot path, called from any service-worker thread. With no write
-     * backlog the frame is sent inline right here — the steady-state
-     * request/response cycle costs the worker one map lookup and one
-     * uncontended mutex on top of what the thread-per-connection
-     * backend pays, and wakes the loop thread not at all. The loop is
+     * Hot path, called from any service-worker thread with a run of
+     * @p n responses that all belong to the same connection
+     * (rs[0].ctx). The run is encoded into per-thread reusable
+     * storage and, with no write backlog, sent inline right here as
+     * ONE send() — the steady-state cycle costs the worker one map
+     * lookup, one uncontended mutex and one write syscall for the
+     * whole run, and wakes the loop thread not at all. The loop is
      * woken only to continue a partial write under EPOLLOUT or to
      * close a drained read-closed connection.
      */
     void
-    postResponse(const core::Response& resp)
+    postResponseRun(const core::Response* rs, size_t n)
     {
-        uint8_t frame[kResponseFrameBytes];
-        encodeResponseFrame(frame, resp);
+        // Reused per worker thread: steady state encodes into
+        // already-grown storage, no allocation per run.
+        static thread_local std::vector<uint8_t> t_enc;
+        const size_t total = n * kResponseFrameBytes;
+        if (t_enc.size() < total)
+            t_enc.resize(total);
+        for (size_t i = 0; i < n; i++)
+            encodeResponseFrame(t_enc.data() + i * kResponseFrameBytes,
+                                rs[i]);
+        const uint64_t serial = rs[0].ctx;
         std::shared_ptr<RConn> c;
         {
             util::MutexLock lock(conns_mu_);
-            const auto it = conns_.find(resp.ctx);
+            const auto it = conns_.find(serial);
             if (it != conns_.end())
                 c = it->second;
         }
         if (!c) {
-            TB_LOG_DEBUG("reactor %u: response for vanished "
+            TB_LOG_DEBUG("reactor %u: %zu response(s) for vanished "
                          "connection %llu",
-                         index_,
-                         static_cast<unsigned long long>(resp.ctx));
+                         index_, n,
+                         static_cast<unsigned long long>(serial));
             return;
         }
         bool need_notify = false;
@@ -213,41 +242,43 @@ class Reactor {
                     c->out.clear();
                     c->out_head = 0;
                     size_t sent = 0;
-                    while (sent < kResponseFrameBytes) {
-                        const ssize_t n = ::send(
-                            c->fd, frame + sent,
-                            kResponseFrameBytes - sent, MSG_NOSIGNAL);
-                        if (n > 0) {
-                            sent += static_cast<size_t>(n);
+                    while (sent < total) {
+                        const ssize_t w = ::send(
+                            c->fd, t_enc.data() + sent, total - sent,
+                            MSG_NOSIGNAL);
+                        util::probe::add(util::probe::kRespWrites);
+                        if (w > 0) {
+                            sent += static_cast<size_t>(w);
                             continue;
                         }
-                        if (n < 0 && errno == EINTR)
+                        if (w < 0 && errno == EINTR)
                             continue;
                         // EAGAIN or a dead peer: buffer the rest and
                         // let the loop continue (and, on the hard
                         // error, close — fd teardown is loop-only).
                         break;
                     }
-                    if (sent < kResponseFrameBytes) {
-                        c->out.insert(c->out.end(), frame + sent,
-                                      frame + kResponseFrameBytes);
+                    if (sent < total) {
+                        c->out.insert(c->out.end(),
+                                      t_enc.data() + sent,
+                                      t_enc.data() + total);
                         need_notify = true;
                     }
                 } else {
-                    // Backlog exists: order this frame behind it.
-                    c->out.insert(c->out.end(), frame,
-                                  frame + kResponseFrameBytes);
+                    // Backlog exists: order the run behind it.
+                    c->out.insert(c->out.end(), t_enc.data(),
+                                  t_enc.data() + total);
                     need_notify = true;
                 }
             }
         }
-        // Decrement strictly after the frame is written or buffered,
-        // so outstanding == 0 implies every response byte is
-        // accounted for when the close condition is evaluated.
-        if (c->outstanding.fetch_sub(1) == 1 && c->rd_closed.load())
+        // Decrement strictly after the frames are written or
+        // buffered, so outstanding == 0 implies every response byte
+        // is accounted for when the close condition is evaluated.
+        if (c->outstanding.fetch_sub(n) == n && c->rd_closed.load())
             need_notify = true;
         if (need_notify)
-            postNotify(resp.ctx);
+            postNotify(serial);
     }
 
     /** Synchronous: returns only after the loop thread has
@@ -350,6 +381,7 @@ class Reactor {
         if (wake_armed_)
             return;
         wake_armed_ = true;
+        util::probe::add(util::probe::kEventfdWakes);
         const uint64_t one = 1;
         [[maybe_unused]] const ssize_t n =
             ::write(event_fd_, &one, sizeof(one));
@@ -674,31 +706,52 @@ class Reactor {
         return true;
     }
 
+    /** Decodes every complete frame in the window into batch_ and
+     * hands the whole batch to the RequestPool at once: one queue
+     * lock and at most one consumer wakeup per read window instead of
+     * one per frame. Payloads are copied into the per-reactor arena
+     * (or an owning string when the arena is disabled) — the view
+     * decode itself allocates nothing. */
     bool
     drainFrames(RConn* c, const uint8_t* data, size_t len,
                 size_t& used)
     {
         used = 0;
-        core::Request req;
+        batch_.clear();
+        bool ok = true;
         for (;;) {
+            RequestFrameView view;
             size_t consumed = 0;
-            switch (tryDecodeRequestFrame(data + used, len - used,
-                                          req, consumed)) {
-            case DecodeResult::kFrame:
-                req.ctx = c->serial;
-                // Register before push: the worker answering this
-                // request must never observe outstanding == 0 while
-                // its own response is in flight.
-                c->outstanding.fetch_add(1);
-                pool_.sink_.push(std::move(req));
-                used += consumed;
+            const DecodeResult dr = tryDecodeRequestFrameView(
+                data + used, len - used, view, consumed);
+            if (dr == DecodeResult::kBadFrame) {
+                ok = false;  // frames decoded before it still count
                 break;
-            case DecodeResult::kNeedMore:
-                return true;
-            case DecodeResult::kBadFrame:
-                return false;
             }
+            if (dr == DecodeResult::kNeedMore)
+                break;
+            core::Request req;
+            req.id = view.id;
+            req.genNs = view.genNs;
+            req.ctx = c->serial;
+            const std::string_view payload(
+                reinterpret_cast<const char*>(view.payload),
+                view.payloadLen);
+            if (arena_enabled_)
+                req.payload = arena_.store(payload);
+            else
+                req.payload = std::string(payload);
+            batch_.push_back(std::move(req));
+            used += consumed;
         }
+        if (!batch_.empty()) {
+            // Register before push: the worker answering these
+            // requests must never observe outstanding == 0 while its
+            // own response is in flight.
+            c->outstanding.fetch_add(batch_.size());
+            pool_.sink_.pushBatch(batch_);  // empties batch_
+        }
+        return ok;
     }
 
     /** Writes as much pending output as the socket takes (out_mu
@@ -714,6 +767,7 @@ class Reactor {
             const ssize_t n = ::send(c->fd, c->out.data() + c->out_head,
                                      c->out.size() - c->out_head,
                                      MSG_NOSIGNAL);
+            util::probe::add(util::probe::kRespWrites);
             if (n > 0) {
                 c->out_head += static_cast<size_t>(n);
                 continue;
@@ -854,6 +908,14 @@ class Reactor {
         TB_GUARDED_BY(conns_mu_);
     std::vector<uint8_t> scratch_ =
         std::vector<uint8_t>(kReadScratchBytes);
+    /** Arena for decoded payloads; the loop thread is the single
+     * producer (store), worker-held PayloadRefs release from any
+     * thread. */
+    util::PayloadArena arena_;
+    const bool arena_enabled_;
+    /** Per-read-window request batch; loop-thread-only, reused so the
+     * steady state allocates nothing (pushBatch returns capacity). */
+    std::vector<core::Request> batch_;
 
     // Cross-thread task queue. wake_armed_ collapses redundant
     // eventfd writes.
@@ -874,13 +936,14 @@ class Reactor {
 
 // ----------------------------------------------------------- ReactorPool
 
-ReactorPool::ReactorPool(core::RequestPool& sink, unsigned reactors)
-    : sink_(sink)
+ReactorPool::ReactorPool(core::RequestPool& sink, unsigned reactors,
+                         bool payloadArena)
+    : sink_(sink), payload_arena_(payloadArena)
 {
     const unsigned n = reactors == 0 ? kDefaultReactors : reactors;
     reactors_.reserve(n);
     for (unsigned i = 0; i < n; i++) {
-        auto r = std::make_unique<Reactor>(*this, i);
+        auto r = std::make_unique<Reactor>(*this, i, payload_arena_);
         if (!r->init()) {
             TB_LOG_ERROR("reactor %u: init failed: %s", i,
                          std::strerror(errno));
@@ -918,6 +981,29 @@ ReactorPool::postResponse(const core::Response& resp)
     if (reactors_.empty())
         return;
     reactors_[resp.ctx % reactors_.size()]->postResponse(resp);
+}
+
+void
+ReactorPool::postResponseBatch(std::vector<core::Response>& resps)
+{
+    if (reactors_.empty()) {
+        resps.clear();
+        return;
+    }
+    // Contiguous same-connection runs coalesce into one encode + one
+    // send(); worker batches come from per-connection read windows,
+    // so in practice a batch is usually one run.
+    const size_t total = resps.size();
+    size_t run_start = 0;
+    for (size_t i = 1; i <= total; i++) {
+        if (i < total && resps[i].ctx == resps[run_start].ctx)
+            continue;
+        const uint64_t ctx = resps[run_start].ctx;
+        reactors_[ctx % reactors_.size()]->postResponseRun(
+            &resps[run_start], i - run_start);
+        run_start = i;
+    }
+    resps.clear();
 }
 
 void

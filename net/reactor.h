@@ -14,28 +14,31 @@
  *                 routing needs no shared map at all.
  *   Reactor       one epoll loop. Reads are nonblocking into a
  *                 per-reactor reusable IO buffer and framed
- *                 incrementally (net/wire.h tryDecodeRequestFrame —
- *                 the same decode path the blocking ByteStream
- *                 framing uses); complete requests are pushed into
- *                 the shared core::RequestPool with ctx = connection
- *                 serial, so the ServiceLoop workers and every
- *                 harness run unchanged on top. Responses are encoded
- *                 as fixed-size frames (no allocation per response)
- *                 and sent *inline from the service-worker thread*
- *                 under a per-connection write mutex — the same
- *                 zero-hop write path as the thread-per-connection
- *                 backend, so saturation throughput does not pay an
- *                 extra wakeup per response. Only a partial write
+ *                 incrementally (net/wire.h tryDecodeRequestFrameView
+ *                 — the same validation as the blocking ByteStream
+ *                 framing); every complete request in a read window
+ *                 is collected and pushed into the shared
+ *                 core::RequestPool as ONE batch with ctx =
+ *                 connection serial (one queue lock, at most one
+ *                 wakeup, for the whole window), so the ServiceLoop
+ *                 workers and every harness run unchanged on top.
+ *                 Responses are encoded as fixed-size frames into
+ *                 per-thread reusable storage and sent *inline from
+ *                 the service-worker thread* under a per-connection
+ *                 write mutex — a whole batch of same-connection
+ *                 responses coalesces into a single send() — so
+ *                 saturation throughput does not pay an extra wakeup
+ *                 or a syscall per response. Only a partial write
  *                 falls back to the owning reactor for EPOLLOUT
  *                 continuation: what the socket will not take now
- *                 waits in the connection's output buffer.
+ *                 waits in the connection's output ring.
  *
- * Buffers are arenas in the practical sense: the per-reactor read
- * scratch and each connection's input/output buffers grow once and
- * are reused for the connection's whole life, so the steady-state
- * request hot path performs no per-request allocation on the IO side
- * (the decoded payload string itself rides small-string storage for
- * the app's tiny request payloads).
+ * The hot path is allocation-free in steady state: the per-reactor
+ * read scratch and each connection's input/output buffers grow once
+ * and are reused for the connection's whole life, and decoded request
+ * payloads are copied into a per-reactor epoch-recycled bump arena
+ * (util/arena.h; TAILBENCH_PAYLOAD_ARENA=0 falls back to owning
+ * std::string payloads for A/B measurement).
  *
  * Close protocol mirrors the thread-per-connection backend: a
  * connection is closed by whichever event makes (read-side closed &&
@@ -72,12 +75,16 @@ struct IoOptions {
     /** Reactor (event-loop) threads; 0 = default (2). Ignored under
      * kThreads. */
     unsigned reactors = 0;
+    /** Store decoded request payloads in the per-reactor bump arena
+     * (steady-state allocation-free). Off = owning std::string per
+     * payload, kept as the measurable baseline. kReactor only. */
+    bool payloadArena = true;
 };
 
-/** TAILBENCH_IO_MODE=threads|reactor, TAILBENCH_REACTORS=<n> — with
- * the same warn-and-keep-default handling of malformed values as
- * every other env knob (a typo must not silently flip the measured
- * configuration). */
+/** TAILBENCH_IO_MODE=threads|reactor, TAILBENCH_REACTORS=<n>,
+ * TAILBENCH_PAYLOAD_ARENA=0|1 — with the same warn-and-keep-default
+ * handling of malformed values as every other env knob (a typo must
+ * not silently flip the measured configuration). */
 IoOptions ioOptionsFromEnv();
 
 class Reactor;
@@ -98,7 +105,8 @@ class Reactor;
  */
 class ReactorPool {
   public:
-    ReactorPool(core::RequestPool& sink, unsigned reactors);
+    ReactorPool(core::RequestPool& sink, unsigned reactors,
+                bool payloadArena = true);
     ~ReactorPool();
 
     ReactorPool(const ReactorPool&) = delete;
@@ -111,6 +119,13 @@ class ReactorPool {
     /** Routes one completed response to the owning reactor
      * (resp.ctx is the connection serial). Any-thread safe. */
     void postResponse(const core::Response& resp);
+
+    /** Batched variant: contiguous same-ctx runs in @p resps coalesce
+     * into one encode + one send() on the owning reactor (worker
+     * batches arrive connection-ordered from the per-connection read
+     * windows, so run detection is a single pass). Empties @p resps,
+     * keeping its capacity. Any-thread safe. */
+    void postResponseBatch(std::vector<core::Response>& resps);
 
     void beginShutdown();
     void finish();
@@ -130,6 +145,7 @@ class ReactorPool {
     core::RequestPool& sink_;
     std::vector<std::unique_ptr<Reactor>> reactors_;
     std::atomic<uint64_t> next_serial_{1};
+    const bool payload_arena_;
 };
 
 }  // namespace tb::net

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "net/wire.h"
+#include "util/alloc_probe.h"
 #include "util/clock.h"
 #include "util/env.h"
 #include "util/logging.h"
@@ -166,6 +167,12 @@ class TcpServer::Port final : public core::ServerPort {
         server_.sendResponse(resp);
     }
 
+    void
+    sendRespBatch(std::vector<core::Response>& resps) override
+    {
+        server_.sendResponseBatch(resps);
+    }
+
     /** The per-connection teardown (FIN after the last response) is
      * what ends the client's stream; nothing further to close. */
     void closeResponses() override {}
@@ -252,7 +259,7 @@ TcpServer::TcpServer(apps::App& app, unsigned workers, uint16_t port,
         return;
     if (io_.mode == IoMode::kReactor) {
         reactor_pool_ = std::make_unique<ReactorPool>(
-            port_obj_->pool_, io_.reactors);
+            port_obj_->pool_, io_.reactors, io_.payloadArena);
         if (reactor_pool_->reactorCount() == 0) {
             // epoll/eventfd setup failed — refuse to half-start.
             TB_LOG_ERROR("tcp server: reactor backend unavailable");
@@ -478,12 +485,79 @@ TcpServer::sendResponse(const core::Response& resp)
     {
         util::MutexLock lock(conn->mu);
         if (!conn->closed) {
+            util::probe::add(util::probe::kRespWrites);
             FdStream stream(conn->fd);
             if (!sendResponseFrame(stream, resp))
                 TB_LOG_DEBUG("tcp server: response write failed "
                              "(peer gone?)");
         }
         conn->outstanding--;
+        close_now = conn->eof && conn->outstanding == 0 &&
+            !conn->closed;
+    }
+    if (close_now)
+        closeConn(conn);
+}
+
+void
+TcpServer::sendResponseBatch(std::vector<core::Response>& resps)
+{
+    if (reactor_pool_) {
+        reactor_pool_->postResponseBatch(resps);
+        return;
+    }
+    // Contiguous same-connection runs coalesce into one write each;
+    // worker batches come off per-connection request streams, so a
+    // batch is usually a single run.
+    const size_t total = resps.size();
+    size_t run_start = 0;
+    for (size_t i = 1; i <= total; i++) {
+        if (i < total && resps[i].ctx == resps[run_start].ctx)
+            continue;
+        sendResponseRun(&resps[run_start], i - run_start);
+        run_start = i;
+    }
+    resps.clear();
+}
+
+void
+TcpServer::sendResponseRun(const core::Response* rs, size_t n)
+{
+    std::shared_ptr<Conn> conn;
+    {
+        util::MutexLock lock(port_obj_->map_mu_);
+        const auto it = port_obj_->routes_.find(rs[0].ctx);
+        if (it != port_obj_->routes_.end())
+            conn = it->second;
+    }
+    if (!conn) {
+        TB_LOG_DEBUG("tcp server: %zu response(s) have no connection",
+                     n);
+        return;
+    }
+    // Response frames are fixed-size, so a whole run encodes into
+    // per-thread reusable storage and leaves as one write.
+    static thread_local std::vector<uint8_t> t_enc;
+    const size_t bytes = n * kResponseFrameBytes;
+    if (t_enc.size() < bytes)
+        t_enc.resize(bytes);
+    for (size_t i = 0; i < n; i++)
+        encodeResponseFrame(t_enc.data() + i * kResponseFrameBytes,
+                            rs[i]);
+    bool close_now = false;
+    {
+        util::MutexLock lock(conn->mu);
+        if (!conn->closed) {
+            // Counts coalesced write calls (writeFull splits only on
+            // a partial write of the tiny frame run, which is rare on
+            // a blocking socket).
+            util::probe::add(util::probe::kRespWrites);
+            FdStream stream(conn->fd);
+            if (!writeFull(stream, t_enc.data(), bytes))
+                TB_LOG_DEBUG("tcp server: response write failed "
+                             "(peer gone?)");
+        }
+        conn->outstanding -= n;
         close_now = conn->eof && conn->outstanding == 0 &&
             !conn->closed;
     }

@@ -116,6 +116,11 @@ class TcpServer {
     void readerLoop();
     void readConnection(const std::shared_ptr<Conn>& conn);
     void sendResponse(const core::Response& resp);
+    /** Batched response path: contiguous same-connection runs leave
+     * as one write (threads backend) or one reactor send. Empties
+     * @p resps, keeping capacity. */
+    void sendResponseBatch(std::vector<core::Response>& resps);
+    void sendResponseRun(const core::Response* rs, size_t n);
     void closeConn(const std::shared_ptr<Conn>& conn);
 
     int listen_fd_ = -1;

@@ -133,16 +133,17 @@ writeFull(ByteStream& s, const void* buf, size_t len)
 bool
 sendRequestFrame(ByteStream& s, const core::Request& req)
 {
-    if (req.payload.size() > kMaxPayloadBytes)
+    const std::string_view payload = req.payload.view();
+    if (payload.size() > kMaxPayloadBytes)
         return false;
     uint8_t hdr[kReqHeaderBytes];
     put32(hdr, kRequestMagic);
-    put32(hdr + 4, static_cast<uint32_t>(req.payload.size()));
+    put32(hdr + 4, static_cast<uint32_t>(payload.size()));
     put64(hdr + 8, req.id);
     put64(hdr + 16, static_cast<uint64_t>(req.genNs));
     return writeFull(s, hdr, sizeof(hdr)) &&
-        (req.payload.empty() ||
-         writeFull(s, req.payload.data(), req.payload.size()));
+        (payload.empty() ||
+         writeFull(s, payload.data(), payload.size()));
 }
 
 WireResult
@@ -160,9 +161,12 @@ recvRequestFrame(ByteStream& s, core::Request& out)
     out.id = get64(hdr + 8);
     out.genNs = static_cast<int64_t>(get64(hdr + 16));
     out.ctx = 0;  // routing context is per-hop, never wire-carried
-    out.payload.resize(payload_len);
-    if (payload_len > 0 && !readFull(s, &out.payload[0], payload_len))
+    // Owning payload: this is the blocking (threads-backend) path; the
+    // reactor's allocation-free path decodes via the frame view.
+    std::string payload(payload_len, '\0');
+    if (payload_len > 0 && !readFull(s, &payload[0], payload_len))
         return WireResult::kBadFrame;
+    out.payload = std::move(payload);
     return WireResult::kOk;
 }
 
@@ -205,8 +209,8 @@ recvResponseFrame(ByteStream& s, core::Response& out)
 }
 
 DecodeResult
-tryDecodeRequestFrame(const uint8_t* data, size_t len,
-                      core::Request& out, size_t& consumed)
+tryDecodeRequestFrameView(const uint8_t* data, size_t len,
+                          RequestFrameView& out, size_t& consumed)
 {
     // Validate as early as the bytes allow: a bad magic or oversized
     // length must poison the connection before the peer's claimed
@@ -217,15 +221,32 @@ tryDecodeRequestFrame(const uint8_t* data, size_t len,
         return DecodeResult::kBadFrame;
     if (len < kRequestHeaderBytes)
         return DecodeResult::kNeedMore;
-    const size_t total = kRequestHeaderBytes + get32(data + 4);
+    const uint32_t payload_len = get32(data + 4);
+    const size_t total = kRequestHeaderBytes + payload_len;
     if (len < total)
         return DecodeResult::kNeedMore;
-    // A full frame is present: decode it through the stream-tested
-    // path, which cannot see EOF mid-frame by construction.
-    BufStream s(data, total);
-    if (recvRequestFrame(s, out) != WireResult::kOk)
-        return DecodeResult::kBadFrame;
-    consumed = s.consumed();
+    out.id = get64(data + 8);
+    out.genNs = static_cast<int64_t>(get64(data + 16));
+    out.payload = data + kRequestHeaderBytes;
+    out.payloadLen = payload_len;
+    consumed = total;
+    return DecodeResult::kFrame;
+}
+
+DecodeResult
+tryDecodeRequestFrame(const uint8_t* data, size_t len,
+                      core::Request& out, size_t& consumed)
+{
+    RequestFrameView view;
+    const DecodeResult dr =
+        tryDecodeRequestFrameView(data, len, view, consumed);
+    if (dr != DecodeResult::kFrame)
+        return dr;
+    out.id = view.id;
+    out.genNs = view.genNs;
+    out.ctx = 0;  // routing context is per-hop, never wire-carried
+    out.payload = std::string(
+        reinterpret_cast<const char*>(view.payload), view.payloadLen);
     return DecodeResult::kFrame;
 }
 

@@ -111,6 +111,26 @@ DecodeResult tryDecodeResponseFrame(const uint8_t* data, size_t len,
                                     core::Response& out,
                                     size_t& consumed);
 
+/**
+ * Zero-copy view of one decoded request frame: payload points into
+ * the caller's buffer, valid only until that buffer moves or is
+ * reused. The reactor's allocation-free read path decodes through
+ * this and copies the payload into its arena; tryDecodeRequestFrame
+ * is the same decode plus an owning payload copy.
+ */
+struct RequestFrameView {
+    uint64_t id = 0;
+    int64_t genNs = 0;
+    const uint8_t* payload = nullptr;
+    uint32_t payloadLen = 0;
+};
+
+/** Like tryDecodeRequestFrame, but without materializing the payload:
+ * same early magic/length validation, same consumed contract. */
+DecodeResult tryDecodeRequestFrameView(const uint8_t* data, size_t len,
+                                       RequestFrameView& out,
+                                       size_t& consumed);
+
 /** Serializes @p resp into a caller buffer of kResponseFrameBytes —
  * the reactor write path encodes into per-task fixed storage instead
  * of allocating a stream per response. */

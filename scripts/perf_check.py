@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Warn-only perf smoke: check the machine-readable bench reports
+against conservative floor thresholds.
+
+Usage: perf_check.py [dir-with-BENCH_*.json]   (default: cwd)
+
+Reads BENCH_fig10.json and BENCH_microbench_hotpath.json, produced by
+running fig10_connection_scaling and microbench_hotpath in the given
+directory, and checks the hot-path PR's headline claims:
+
+  fig10      the reactor backend's saturation QPS at the largest
+             connection count must clear an absolute floor — a
+             regression that costs the C10k path an order of
+             magnitude shows up here even on a noisy CI host.
+  microbench reactor+arena steady state must be allocation-free
+             (< 0.01 heap allocs/request; skipped when the JSON says
+             the operator-new hook is compiled out, i.e. sanitizer
+             builds), and response-write coalescing must save >= 4x
+             syscalls versus the per-frame path.
+
+Exit codes: 0 all checks pass, 1 a check failed, 2 a report is
+missing/unparseable. CI runs this step with continue-on-error — the
+thresholds are floors against collapse, not a benchmarking service;
+absolute QPS on shared runners is too noisy to gate merges on.
+"""
+
+import json
+import os
+import sys
+
+# Floors, not targets: an unloaded dev box exceeds these by >10x; CI
+# runners by ~2-5x. They exist to catch collapse (a serialization bug,
+# an accidental O(n^2)), not drift.
+FIG10_REACTOR_MIN_SAT_QPS = 2000.0
+ARENA_MAX_ALLOCS_PER_REQ = 0.01
+MIN_COALESCING_WRITE_RATIO = 4.0
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"perf_check: cannot read {path}: {e}")
+        return None
+    except ValueError as e:
+        print(f"perf_check: cannot parse {path}: {e}")
+        return None
+
+
+def check_fig10(report):
+    """Reactor saturation at the deepest connection sweep point."""
+    failures = []
+    best = {}  # io backend -> max saturation over its sweep
+    for point in report.get("points", []):
+        backend = point.get("io", "?")
+        sat = point.get("saturation_qps")
+        if isinstance(sat, (int, float)):
+            best[backend] = max(best.get(backend, 0.0), sat)
+    sat = best.get("reactor")
+    if sat is None:
+        failures.append("fig10: no reactor point carries saturation_qps")
+    elif sat < FIG10_REACTOR_MIN_SAT_QPS:
+        failures.append(
+            f"fig10: reactor saturation {sat:.0f} qps is below the "
+            f"{FIG10_REACTOR_MIN_SAT_QPS:.0f} qps floor"
+        )
+    else:
+        print(
+            f"perf_check: fig10 reactor saturation {sat:.0f} qps "
+            f"(floor {FIG10_REACTOR_MIN_SAT_QPS:.0f}) ok"
+        )
+    return failures
+
+
+def check_microbench(report):
+    failures = []
+    modes = {m.get("mode"): m for m in report.get("modes", [])}
+
+    hook = report.get("alloc_hook_active", False)
+    arena = modes.get("reactor_arena", {})
+    allocs = arena.get("allocs_per_req")
+    if not hook:
+        print(
+            "perf_check: alloc hook inactive (sanitizer build) — "
+            "skipping the allocs/request criterion"
+        )
+    elif not isinstance(allocs, (int, float)):
+        failures.append("microbench: reactor_arena lacks allocs_per_req")
+    elif allocs >= ARENA_MAX_ALLOCS_PER_REQ:
+        failures.append(
+            f"microbench: reactor_arena allocates {allocs:.3f}/request "
+            f"(must be < {ARENA_MAX_ALLOCS_PER_REQ})"
+        )
+    else:
+        print(
+            f"perf_check: reactor_arena {allocs:.3f} allocs/request "
+            f"(< {ARENA_MAX_ALLOCS_PER_REQ}) ok"
+        )
+
+    ratio = report.get("summary", {}).get("coalescing_write_ratio")
+    if not isinstance(ratio, (int, float)):
+        failures.append("microbench: summary lacks coalescing_write_ratio")
+    elif ratio < MIN_COALESCING_WRITE_RATIO:
+        failures.append(
+            f"microbench: coalescing saves only {ratio:.2f}x write "
+            f"syscalls (must be >= {MIN_COALESCING_WRITE_RATIO}x)"
+        )
+    else:
+        print(
+            f"perf_check: write coalescing {ratio:.1f}x "
+            f"(>= {MIN_COALESCING_WRITE_RATIO}x) ok"
+        )
+    return failures
+
+
+def main():
+    where = sys.argv[1] if len(sys.argv) > 1 else "."
+    reports = {
+        name: load(os.path.join(where, name))
+        for name in ("BENCH_fig10.json", "BENCH_microbench_hotpath.json")
+    }
+    if any(r is None for r in reports.values()):
+        return 2
+    failures = check_fig10(reports["BENCH_fig10.json"])
+    failures += check_microbench(reports["BENCH_microbench_hotpath.json"])
+    for f in failures:
+        print(f"perf_check: FAIL: {f}")
+    if not failures:
+        print("perf_check: all checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -171,6 +171,64 @@ main()
         }
     }
 
+    // Hostile small-buffer peer: a client with a tiny receive buffer
+    // that pipelines a deep burst WITHOUT reading forces the server's
+    // coalesced sends to go partial — the remainder must be buffered
+    // and continued via EPOLLOUT, and every response must eventually
+    // arrive intact and exactly once. This is the partial-write
+    // continuation path of the write-coalescing fast path.
+    {
+        auto app = makeTestApp();
+        tb::net::IoOptions io;
+        io.mode = tb::net::IoMode::kReactor;
+        io.reactors = 1;
+        tb::net::TcpServer server(*app, 1, 0, true, {}, {}, io);
+        CHECK(server.listening());
+        server.start();
+
+        const int fd = tb::net::connectTcp("127.0.0.1", server.port());
+        CHECK(fd >= 0);
+        // Shrink the client's receive window so the server's socket
+        // buffer + our window fill long before the burst's responses
+        // do (2000 responses = 96 KB). Must be set before data flows.
+        int rcv = 1024;
+        CHECK(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcv,
+                           sizeof(rcv)) == 0);
+
+        constexpr uint64_t kBurst = 2000;
+        tb::util::Rng rng(43);
+        {
+            tb::net::FdStream s(fd);
+            for (uint64_t i = 0; i < kBurst; i++) {
+                Request req;
+                req.id = i;
+                req.payload = app->genRequest(rng);
+                req.genNs = tb::util::monotonicNs();
+                CHECK(tb::net::sendRequestFrame(s, req));
+            }
+            ::shutdown(fd, SHUT_WR);
+        }
+
+        // Only now start reading: the server has been writing into a
+        // wall the whole time. Every id must come back exactly once,
+        // then clean EOF (server FIN after the last response).
+        {
+            tb::net::FdStream s(fd);
+            std::set<uint64_t> ids;
+            Response resp;
+            for (uint64_t i = 0; i < kBurst; i++) {
+                CHECK(tb::net::recvResponseFrame(s, resp) ==
+                      tb::net::WireResult::kOk);
+                CHECK(ids.insert(resp.id).second);
+            }
+            CHECK_EQ(ids.size(), static_cast<size_t>(kBurst));
+            CHECK(tb::net::recvResponseFrame(s, resp) ==
+                  tb::net::WireResult::kEof);
+        }
+        ::close(fd);
+        server.stop();
+    }
+
     // Lifecycle: repeated servers in one process (fresh epoll/eventfd
     // sets each time) and stop() idempotence.
     {

@@ -33,11 +33,11 @@ class NopApp final : public tb::apps::App {
     const std::string& name() const override { return name_; }
     void init(const tb::apps::AppConfig&) override {}
     std::string genRequest(tb::util::Rng&) override { return "x"; }
-    uint64_t process(const std::string& request) override
+    uint64_t process(std::string_view request) override
     {
         return request.size();
     }
-    int64_t serviceNsFor(const std::string&) const override
+    int64_t serviceNsFor(std::string_view) const override
     {
         return 1;
     }

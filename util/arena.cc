@@ -1,0 +1,88 @@
+#include "util/arena.h"
+
+#include <cassert>
+
+namespace tb::util {
+
+PayloadArena::PayloadArena(size_t chunkBytes)
+    : chunk_bytes_(chunkBytes == 0 ? kDefaultChunkBytes : chunkBytes)
+{
+}
+
+PayloadArena::~PayloadArena()
+{
+    // Owners must have released every PayloadRef by now (TcpServer
+    // joins the service workers before tearing down the reactor that
+    // owns the arena). With all payload refs gone, the only reference
+    // left on the current chunk is the producer hold.
+    if (cur_ != nullptr) {
+        assert(cur_->live.load(std::memory_order_acquire) == 1 &&
+               "PayloadArena destroyed with live payload refs");
+        delete cur_;
+    }
+    util::MutexLock lock(mu_);
+    for (detail::ArenaChunk* c : free_)
+        delete c;
+    free_.clear();
+}
+
+detail::ArenaChunk*
+PayloadArena::refill()
+{
+    detail::ArenaChunk* c = nullptr;
+    {
+        util::MutexLock lock(mu_);
+        if (!free_.empty()) {
+            c = free_.back();
+            free_.pop_back();
+        }
+    }
+    if (c == nullptr) {
+        c = new detail::ArenaChunk();
+        c->owner = this;
+        c->buf.reset(new char[chunk_bytes_]);
+        c->cap = chunk_bytes_;
+        chunks_allocated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    c->used = 0;
+    // No concurrent holders exist (free-listed chunks hit live == 0);
+    // downstream threads synchronize via the queue hand-off.
+    c->live.store(1, std::memory_order_relaxed);
+    return c;
+}
+
+PayloadRef
+PayloadArena::store(std::string_view data)
+{
+    if (data.empty())
+        return PayloadRef();
+    if (data.size() > chunk_bytes_)
+        return PayloadRef(std::string(data));  // owning fallback
+    if (cur_ == nullptr) {
+        cur_ = refill();
+    } else if (cur_->used + data.size() > cur_->cap) {
+        // Seal: drop the producer hold. If every payload in the chunk
+        // is already released, this hits zero and we recycle it here.
+        detail::ArenaChunk* full = cur_;
+        cur_ = nullptr;
+        if (full->live.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            recycle(full);
+        cur_ = refill();
+    }
+    char* dst = cur_->buf.get() + cur_->used;
+    std::memcpy(dst, data.data(), data.size());
+    cur_->used += data.size();
+    cur_->live.fetch_add(1, std::memory_order_relaxed);
+    return PayloadRef(cur_, dst, data.size());
+}
+
+void
+PayloadArena::recycle(detail::ArenaChunk* c)
+{
+    PayloadArena* a = c->owner;
+    a->recycles_.fetch_add(1, std::memory_order_relaxed);
+    util::MutexLock lock(a->mu_);
+    a->free_.push_back(c);
+}
+
+}  // namespace tb::util

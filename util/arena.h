@@ -1,0 +1,311 @@
+#ifndef TAILBENCH_UTIL_ARENA_H_
+#define TAILBENCH_UTIL_ARENA_H_
+
+/**
+ * @file
+ * Chunk-recycled payload arena + the PayloadRef handle the serving hot
+ * path stores request payloads in.
+ *
+ * The problem being solved: every request that crosses the network
+ * used to heap-allocate one std::string for its payload on the read
+ * path, and that allocation sits squarely on the tail-latency-critical
+ * path ("Deconstructing the Tail at Scale Effect" blames exactly this
+ * class of per-request overhead). The arena replaces it with a bump
+ * pointer into a recycled chunk:
+ *
+ *   chunk lifecycle (one producer thread, many consumers):
+ *
+ *     alloc ──▶ CURRENT ──store()──▶ payload refs handed out
+ *                  │                     (live += 1 each)
+ *                  │ full
+ *                  ▼
+ *               sealed (producer drops its hold: live -= 1)
+ *                  │
+ *                  │ last PayloadRef released (live hits 0)
+ *                  ▼
+ *               FREE LIST ──▶ reused as the next CURRENT
+ *
+ * The refcount trick: `live` starts at 1 — the *producer's own hold*
+ * on the current chunk — and each stored payload adds 1. Sealing is
+ * the producer releasing its hold. Whoever decrements `live` to zero
+ * (the producer sealing an already-drained chunk, or the consumer
+ * releasing the last payload of a sealed one) recycles it — an
+ * exactly-once hand-off with no separate "sealed" flag to race on.
+ *
+ * Thread contract: store() (and the internal seal/refill) may be
+ * called from ONE producer thread at a time — the per-reactor loop
+ * thread in practice. PayloadRefs may be copied, moved and released
+ * from any thread; releases synchronize on the chunk refcount
+ * (acq_rel) and the free list is guarded by a real mutex
+ * (TB_GUARDED_BY-checked). Cost: one locked free-list push per
+ * *chunk*, amortized over the hundreds of payloads inside it.
+ *
+ * Lifetime: the arena must outlive every PayloadRef it issued. The
+ * owners uphold this structurally — TcpServer::stop() joins the
+ * service workers (destroying every queued Request) before the
+ * reactor, and the reactor owns its arena.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace tb::util {
+
+class PayloadArena;
+
+namespace detail {
+
+/** One arena chunk. `used` is touched only by the arena's producer
+ * thread; `live` is the cross-thread refcount described above. */
+struct ArenaChunk {
+    PayloadArena* owner = nullptr;
+    std::unique_ptr<char[]> buf;
+    size_t cap = 0;
+    size_t used = 0;                 // producer thread only
+    std::atomic<uint64_t> live{0};   // producer hold + one per payload
+};
+
+}  // namespace detail
+
+/**
+ * A payload handle: either a view into an arena chunk (holding one
+ * `live` reference) or an owning std::string fallback. The owning mode
+ * keeps every non-arena producer — in-process transport, threads
+ * backend, tests assigning string literals — working unchanged.
+ */
+class PayloadRef {
+  public:
+    PayloadRef() = default;
+
+    /** Owning fallback (implicit: call sites assign std::string). */
+    PayloadRef(std::string s) : owned_(std::move(s)) {}
+    PayloadRef(const char* s) : owned_(s) {}
+
+    PayloadRef(const PayloadRef& other) { copyFrom(other); }
+
+    PayloadRef(PayloadRef&& other) noexcept
+        : chunk_(other.chunk_), data_(other.data_), size_(other.size_),
+          owned_(std::move(other.owned_))
+    {
+        other.chunk_ = nullptr;
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+
+    PayloadRef&
+    operator=(const PayloadRef& other)
+    {
+        if (this != &other) {
+            release();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    PayloadRef&
+    operator=(PayloadRef&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            chunk_ = other.chunk_;
+            data_ = other.data_;
+            size_ = other.size_;
+            owned_ = std::move(other.owned_);
+            other.chunk_ = nullptr;
+            other.data_ = nullptr;
+            other.size_ = 0;
+        }
+        return *this;
+    }
+
+    PayloadRef&
+    operator=(std::string s)
+    {
+        release();
+        chunk_ = nullptr;
+        data_ = nullptr;
+        size_ = 0;
+        owned_ = std::move(s);
+        return *this;
+    }
+
+    /** Disambiguates literal assignment (otherwise both the string
+     * and the PayloadRef converting paths are viable). */
+    PayloadRef&
+    operator=(const char* s)
+    {
+        return *this = std::string(s);
+    }
+
+    ~PayloadRef() { release(); }
+
+    /**
+     * The payload bytes. In owning mode this reads through owned_
+     * directly on every call — never a cached pointer, which a small-
+     * string move would invalidate.
+     */
+    std::string_view
+    view() const
+    {
+        if (chunk_ != nullptr)
+            return {data_, size_};
+        return owned_;
+    }
+
+    size_t
+    size() const
+    {
+        return chunk_ != nullptr ? size_ : owned_.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** std::string-compatible fill-assign (drops any arena ref). */
+    void
+    assign(size_t n, char c)
+    {
+        release();
+        chunk_ = nullptr;
+        data_ = nullptr;
+        size_ = 0;
+        owned_.assign(n, c);
+    }
+
+    bool arenaBacked() const { return chunk_ != nullptr; }
+
+  private:
+    friend class PayloadArena;
+
+    PayloadRef(detail::ArenaChunk* chunk, const char* data, size_t n)
+        : chunk_(chunk), data_(data), size_(n)
+    {
+    }
+
+    void
+    copyFrom(const PayloadRef& other)
+    {
+        chunk_ = other.chunk_;
+        data_ = other.data_;
+        size_ = other.size_;
+        if (chunk_ != nullptr) {
+            // Copying from a live ref: live >= 1 is guaranteed by the
+            // source, so a relaxed bump cannot race the zero-crossing.
+            chunk_->live.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            owned_ = other.owned_;
+        }
+    }
+
+    void release();  // defined after PayloadArena (needs recycle)
+
+    detail::ArenaChunk* chunk_ = nullptr;
+    const char* data_ = nullptr;
+    size_t size_ = 0;
+    std::string owned_;
+};
+
+inline bool
+operator==(const PayloadRef& a, const PayloadRef& b)
+{
+    return a.view() == b.view();
+}
+inline bool
+operator==(const PayloadRef& a, const std::string& b)
+{
+    return a.view() == std::string_view(b);
+}
+inline bool
+operator==(const std::string& a, const PayloadRef& b)
+{
+    return b == a;
+}
+inline bool
+operator==(const PayloadRef& a, const char* b)
+{
+    return a.view() == std::string_view(b);
+}
+inline bool
+operator==(const char* a, const PayloadRef& b)
+{
+    return b == a;
+}
+
+/**
+ * The arena itself: bump allocation out of a current chunk, recycled
+ * chunks on a mutex-guarded free list. See the file comment for the
+ * lifecycle and thread contract.
+ */
+class PayloadArena {
+  public:
+    static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+    explicit PayloadArena(size_t chunkBytes = kDefaultChunkBytes);
+    ~PayloadArena();
+
+    PayloadArena(const PayloadArena&) = delete;
+    PayloadArena& operator=(const PayloadArena&) = delete;
+
+    /**
+     * Copies @p data into the current chunk and returns a ref holding
+     * it live. Producer thread only. Payloads larger than the chunk
+     * size fall back to an owning PayloadRef (correct, just not
+     * allocation-free — app request strings are tiny).
+     */
+    PayloadRef store(std::string_view data);
+
+    /** Chunks ever allocated (steady state: stops growing once the
+     * in-flight window fits the recycled set). */
+    uint64_t chunksAllocated() const
+    {
+        return chunks_allocated_.load(std::memory_order_relaxed);
+    }
+    /** Times a drained chunk went back on the free list. */
+    uint64_t chunkRecycles() const
+    {
+        return recycles_.load(std::memory_order_relaxed);
+    }
+    size_t chunkBytes() const { return chunk_bytes_; }
+
+  private:
+    friend class PayloadRef;
+
+    /** Last-reference release path: push the drained chunk back on the
+     * owner's free list. Any thread. */
+    static void recycle(detail::ArenaChunk* c);
+
+    detail::ArenaChunk* refill();  // producer thread only
+
+    const size_t chunk_bytes_;
+    detail::ArenaChunk* cur_ = nullptr;  // producer thread only
+
+    util::Mutex mu_;
+    std::vector<detail::ArenaChunk*> free_ TB_GUARDED_BY(mu_);
+
+    std::atomic<uint64_t> chunks_allocated_{0};
+    std::atomic<uint64_t> recycles_{0};
+};
+
+inline void
+PayloadRef::release()
+{
+    if (chunk_ != nullptr) {
+        // acq_rel: the release order makes our payload reads visible
+        // to whoever recycles; the acquire side lets the recycler see
+        // every released payload's effects before reusing the bytes.
+        if (chunk_->live.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            PayloadArena::recycle(chunk_);
+        chunk_ = nullptr;
+    }
+}
+
+}  // namespace tb::util
+
+#endif  // TAILBENCH_UTIL_ARENA_H_
