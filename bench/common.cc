@@ -14,6 +14,36 @@
 
 namespace tb::bench {
 
+namespace {
+
+// Arrival/SLO/window knobs, parsed once and shared by every
+// measureAt call site: setting TAILBENCH_ARRIVAL=bursts (or an SLO
+// target) reshapes every existing driver without per-driver plumbing.
+const core::ArrivalSpec&
+envArrival()
+{
+    static const core::ArrivalSpec spec = core::ArrivalSpec::fromEnv();
+    return spec;
+}
+
+int64_t
+envSloTargetNs()
+{
+    static const int64_t ns = static_cast<int64_t>(
+        util::envPositiveDouble("TAILBENCH_SLO_MS", 0.0) * 1e6);
+    return ns;
+}
+
+unsigned
+envWindows()
+{
+    static const unsigned w = static_cast<unsigned>(
+        util::envU64("TAILBENCH_WINDOWS", 0, 0, 256));
+    return w;
+}
+
+}  // namespace
+
 BenchSettings
 BenchSettings::fromEnv()
 {
@@ -27,6 +57,9 @@ BenchSettings::fromEnv()
     s.fast = util::envFlag("TAILBENCH_FAST");
     s.pinWorkers = util::envFlag("TAILBENCH_PIN_WORKERS");
     s.seed = util::envU64("TAILBENCH_SEED", s.seed);
+    s.arrival = envArrival();
+    s.sloTargetNs = envSloTargetNs();
+    s.windows = envWindows();
     // Every driver funnels through here, so this is where
     // TAILBENCH_ALLOC_PROBE arms the hot-path counters.
     util::probe::initFromEnv();
@@ -142,6 +175,9 @@ measureAt(core::Harness& harness, apps::App& app, double qps,
     cfg.seed = seed;
     cfg.keepSamples = keep_samples;
     cfg.pinWorkers = pin_workers;
+    cfg.arrival = envArrival();
+    cfg.sloTargetNs = envSloTargetNs();
+    cfg.windows = envWindows();
     return harness.run(app, cfg);
 }
 

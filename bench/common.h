@@ -13,6 +13,12 @@
  *                   per-worker-shard measurements are not confounded
  *                   by OS thread migration (drivers that honor it pass
  *                   it through measureAt)
+ *   TAILBENCH_ARRIVAL (+ TAILBENCH_ARRIVAL_* shape knobs, see
+ *                   core/arrival.h)  arrival process for every
+ *                   measurement point: poisson|bursts|diurnal|trace
+ *   TAILBENCH_SLO_MS  sojourn SLO target in milliseconds; enables
+ *                   SLO-attainment accounting in every RunResult
+ *   TAILBENCH_WINDOWS  reporting windows per run (0 = auto, max 256)
  */
 
 #include <cstdint>
@@ -31,6 +37,13 @@ struct BenchSettings {
     bool fast = false;
     bool pinWorkers = false;
     uint64_t seed = 42;
+    /** Arrival process every measurement point runs under
+     * (TAILBENCH_ARRIVAL*; poisson unless overridden). */
+    core::ArrivalSpec arrival;
+    /** Sojourn SLO target (TAILBENCH_SLO_MS); 0 = no SLO accounting. */
+    int64_t sloTargetNs = 0;
+    /** Reporting windows per run (TAILBENCH_WINDOWS); 0 = auto. */
+    unsigned windows = 0;
 
     static BenchSettings fromEnv();
 };

@@ -9,9 +9,8 @@
  * for apps with more variable service times.
  */
 
-#include <cstdio>
-
 #include "bench/common.h"
+#include "bench/sweep.h"
 #include "core/integrated_harness.h"
 
 using namespace tb;
@@ -23,27 +22,13 @@ main()
     bench::printHeader(
         "Fig. 3: latency vs. QPS (1 worker, integrated config)");
 
-    for (const auto& name : apps::appNames()) {
-        auto app = bench::makeBenchApp(name, s);
-        core::IntegratedHarness h;
-        const double sat = bench::calibrateSaturation(h, *app, 1, s);
-        const uint64_t budget = bench::requestBudget(name, s);
-
-        std::printf("\n%s (sat ~ %.0f qps)\n", name.c_str(), sat);
-        std::printf("  %10s %12s %12s %12s %10s\n", "qps", "mean_ms",
-                    "p95_ms", "p99_ms", "ach_qps");
-        for (double f : bench::sweepFractions(s)) {
-            const double qps = f * sat;
-            const core::RunResult r = bench::measureAt(
-                h, *app, qps, 1, budget,
-                s.seed + static_cast<uint64_t>(f * 100));
-            std::printf("  %10.1f %12s %12s %12s %10s\n", qps,
-                        bench::fmtMs(r.latency.sojourn.meanNs).c_str(),
-                        bench::fmtP95Cell(r, qps).c_str(),
-                        bench::fmtMs(static_cast<double>(
-                            r.latency.sojourn.p99Ns)).c_str(),
-                        bench::fmtQpsCell(r, qps).c_str());
-        }
-    }
+    core::IntegratedHarness integrated;
+    bench::SweepSpec spec;
+    spec.key = "fig3";
+    spec.apps = apps::appNames();
+    spec.harnesses = {&integrated};
+    spec.wide = true;
+    spec.seedScale = 100;
+    bench::runLatencySweep(spec, s);
     return 0;
 }

@@ -20,6 +20,7 @@
 #include <map>
 
 #include "bench/common.h"
+#include "bench/sweep.h"
 #include "core/integrated_harness.h"
 #include "net/server_harness.h"
 #include "sim/sim_harness.h"
@@ -37,42 +38,28 @@ main()
     net::LoopbackHarness loopback;
     net::NetworkedHarness networked;
     sim::SimHarness simulation;
-    core::Harness* configs[] = {&networked, &loopback, &integrated,
-                                &simulation};
 
-    for (const auto& name : apps::appNames()) {
+    bench::SweepSpec spec;
+    spec.key = "fig5";
+    spec.apps = apps::appNames();
+    spec.harnesses = {&networked, &loopback, &integrated, &simulation};
+    spec.calibrateIndex = 2;  // shared saturation from integrated
+    const bench::SweepOutput out = bench::runLatencySweep(spec, s);
+
+    // Saturation throughput per configuration (heavy overload), and
+    // the networked-vs-integrated delta the paper quotes.
+    std::printf("\nsaturation deltas (achieved qps under 2.5x "
+                "overload):\n");
+    for (const auto& name : spec.apps) {
+        const auto it_sat = out.satQps.find(name);
+        if (it_sat == out.satQps.end() || it_sat->second <= 0.0)
+            continue;
+        const double sat = it_sat->second;
         auto app = bench::makeBenchApp(name, s);
-        const double sat =
-            bench::calibrateSaturation(integrated, *app, 1, s);
         const uint64_t budget = bench::requestBudget(name, s);
-
-        // Two cells per configuration: p95 sojourn and achieved
-        // (completed) QPS, so where each setup saturates is visible in
-        // the table itself — achieved falling short of offered is the
-        // saturation signal the p95 column only implies.
-        std::printf("\n%s (integrated sat ~ %.0f qps)\n", name.c_str(),
-                    sat);
-        std::printf("  %10s %12s %8s %12s %8s %12s %8s %12s %8s\n",
-                    "qps", "networked", "ach", "loopback", "ach",
-                    "integrated", "ach", "simulation", "ach");
-        for (double f : bench::sweepFractions(s)) {
-            const double qps = f * sat;
-            std::printf("  %10.1f", qps);
-            for (core::Harness* h : configs) {
-                const core::RunResult r = bench::measureAt(
-                    *h, *app, qps, 1, budget,
-                    s.seed + static_cast<uint64_t>(f * 1000));
-                std::printf(" %12s %8s",
-                            bench::fmtP95Cell(r, qps).c_str(),
-                            bench::fmtQpsCell(r, qps).c_str());
-            }
-            std::printf("\n");
-        }
-
-        // Saturation throughput per configuration (heavy overload).
-        std::printf("  saturation qps:");
+        std::printf("  %s:", name.c_str());
         std::map<std::string, double> sat_qps;
-        for (core::Harness* h : configs) {
+        for (core::Harness* h : spec.harnesses) {
             const core::RunResult r = bench::measureAt(
                 *h, *app, 2.5 * sat, 1,
                 std::max<uint64_t>(200, budget / 2), s.seed + 99);
@@ -89,13 +76,11 @@ main()
             it_int->second > 0.0) {
             const double delta = 100.0 *
                 (it_int->second - it_net->second) / it_int->second;
-            std::printf("\n  networked-vs-integrated saturation delta: "
-                        "%.0f%% (paper: 39%% silo, 23%% specjbb, small "
-                        "otherwise)\n", delta);
+            std::printf("  networked-vs-integrated: %.0f%%\n", delta);
         } else {
-            std::printf("\n  networked-vs-integrated saturation delta: "
-                        "n/a (config missing or zero throughput)\n");
+            std::printf("  networked-vs-integrated: n/a\n");
         }
     }
+    std::printf("(paper: 39%% silo, 23%% specjbb, small otherwise)\n");
     return 0;
 }

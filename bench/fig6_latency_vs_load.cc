@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/sweep.h"
 #include "core/integrated_harness.h"
 #include "net/server_harness.h"
 #include "sim/sim_harness.h"
@@ -31,39 +32,14 @@ main()
     net::LoopbackHarness loopback;
     net::NetworkedHarness networked;
     sim::SimHarness simulation;
-    core::Harness* configs[] = {&networked, &loopback, &integrated,
-                                &simulation};
 
-    for (const auto& name : {std::string("shore"),
-                             std::string("img-dnn")}) {
-        auto app = bench::makeBenchApp(name, s);
-        const uint64_t budget = bench::requestBudget(name, s);
+    bench::SweepSpec spec;
+    spec.key = "fig6";
+    spec.apps = {"shore", "img-dnn"};
+    spec.harnesses = {&networked, &loopback, &integrated, &simulation};
+    spec.perHarnessLoad = true;
+    bench::runLatencySweep(spec, s);
 
-        // Per-config saturation: the x-axis is load relative to each
-        // configuration's own capacity.
-        double sat[4];
-        for (int c = 0; c < 4; c++)
-            sat[c] = bench::calibrateSaturation(*configs[c], *app, 1, s);
-
-        std::printf("\n%s (sat: networked %.0f, loopback %.0f, "
-                    "integrated %.0f, simulation %.0f qps)\n",
-                    name.c_str(), sat[0], sat[1], sat[2], sat[3]);
-        std::printf("  %6s %12s %8s %12s %8s %12s %8s %12s %8s\n",
-                    "load", "networked", "ach", "loopback", "ach",
-                    "integrated", "ach", "simulation", "ach");
-        for (double f : bench::sweepFractions(s)) {
-            std::printf("  %6.2f", f);
-            for (int c = 0; c < 4; c++) {
-                const core::RunResult r = bench::measureAt(
-                    *configs[c], *app, f * sat[c], 1, budget,
-                    s.seed + static_cast<uint64_t>(f * 1000));
-                std::printf(" %12s %8s",
-                            bench::fmtP95Cell(r, f * sat[c]).c_str(),
-                            bench::fmtQpsCell(r, f * sat[c]).c_str());
-            }
-            std::printf("\n");
-        }
-    }
     std::printf("\nExpect all four columns to be close at each load "
                 "level (the paper's Fig. 6 claim).\n");
     return 0;

@@ -1,0 +1,73 @@
+#ifndef TAILBENCH_BENCH_SWEEP_H_
+#define TAILBENCH_BENCH_SWEEP_H_
+
+/**
+ * @file
+ * The latency-vs-load sweep shared by fig3/fig5/fig6 (and reusable by
+ * new drivers): calibrate saturation, measure each app at the
+ * standard load fractions across one or more harness configurations,
+ * print the familiar table, and emit a machine-readable
+ * BENCH_<key>.json via bench::JsonWriter — so a p95 regression in any
+ * sweep driver shows up as a diffable number, not only in an eyeballed
+ * table (ROADMAP: machine-readable bench reports).
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/harness.h"
+
+namespace tb::bench {
+
+struct SweepSpec {
+    /** Report key: the JSON lands in BENCH_<key>.json. */
+    std::string key;
+    std::vector<std::string> apps;
+    /** Harness configurations, in column order. Non-owning. */
+    std::vector<core::Harness*> harnesses;
+    unsigned threads = 1;
+    /** Which harness calibrates the shared saturation when
+     * perHarnessLoad is false (fig3/fig5 calibrate on integrated). */
+    size_t calibrateIndex = 0;
+    /** True: each harness runs at fractions of its OWN saturation and
+     * the x-axis is load (fig6). False: one shared saturation, the
+     * x-axis is absolute QPS (fig3/fig5). */
+    bool perHarnessLoad = false;
+    /** True: single-harness wide table with mean/p95/p99 columns
+     * (fig3); false: per-config p95+ach column pairs (fig5/fig6). */
+    bool wide = false;
+    /** Per-point seed offset multiplier: seed + (uint64_t)(f * scale).
+     * fig3 historically used 100, fig5/fig6 1000. */
+    uint64_t seedScale = 1000;
+};
+
+struct SweepPoint {
+    std::string app;
+    std::string config;
+    double fraction = 0.0;
+    double offeredQps = 0.0;
+    /** Saturation the fraction was taken of (this point's harness). */
+    double satQps = 0.0;
+    core::RunResult result;
+};
+
+struct SweepOutput {
+    std::vector<SweepPoint> points;
+    /** Per-app saturation of harnesses[calibrateIndex] (or of each
+     * config under perHarnessLoad, keyed "app/config") — for driver
+     * postludes like fig5's saturation-delta comparison. */
+    std::map<std::string, double> satQps;
+};
+
+/**
+ * Runs the sweep, printing per-app tables to stdout and writing
+ * BENCH_<key>.json to the working directory. Invalid points keep the
+ * "!" gen-lag annotation from fmtP95Cell/fmtQpsCell.
+ */
+SweepOutput runLatencySweep(const SweepSpec& spec, const BenchSettings& s);
+
+}  // namespace tb::bench
+
+#endif  // TAILBENCH_BENCH_SWEEP_H_

@@ -1,0 +1,126 @@
+#ifndef TAILBENCH_CORE_ARRIVAL_H_
+#define TAILBENCH_CORE_ARRIVAL_H_
+
+/**
+ * @file
+ * The arrival-schedule seam: one pluggable object that owns "when does
+ * the next request arrive", shared by every harness family —
+ * LoadClient (wall-clock ns), SimHarness (virtual ns), and
+ * queueing::simulateMgn (virtual ns). The paper's methodology is
+ * open-loop Poisson; real traffic is bursty and diurnal, and studies
+ * such as TailBench++ need heterogeneous load shapes, so the process
+ * is a seam rather than an assumption baked into three generators.
+ *
+ * Contract:
+ *   - Deterministic and seeded: all randomness is drawn from the
+ *     caller-supplied util::Rng, so a fixed seed reproduces the exact
+ *     schedule (and the caller may interleave other draws, e.g.
+ *     payload generation, exactly as the pre-seam generators did).
+ *   - Incremental and absolute: reset(originNs) plants the schedule
+ *     cursor; each nextArrivalNs() advances it and returns the next
+ *     absolute arrival time in ns. Units are whatever the caller's
+ *     clock uses — wall-clock or virtual time — because the process
+ *     only ever adds gaps to its origin.
+ *   - Equal mean load: every implementation is parameterized by a
+ *     target mean rate (qps) and converges to it over the run, so
+ *     processes are comparable at equal offered load; only the
+ *     higher moments (burstiness, modulation) differ.
+ *
+ * The Poisson implementation reproduces the pre-seam schedules
+ * bit-identically (same accumulation arithmetic, same single
+ * exponential draw per arrival) — regression safety for every
+ * existing figure. scripts/tb_lint.py enforces that interarrival
+ * sampling happens here and nowhere else (rule `arrival-seam`).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tb::core {
+
+class ArrivalProcess {
+  public:
+    virtual ~ArrivalProcess();
+
+    /** Plants the schedule at @p originNs: the next arrival is
+     * originNs + first gap. May be called again to restart. */
+    virtual void reset(double originNs);
+
+    /** Advances the schedule and returns the next absolute arrival
+     * time (ns, double: callers pick their own truncation so legacy
+     * schedules stay bit-identical). Draws only from @p rng. */
+    virtual double nextArrivalNs(util::Rng& rng) = 0;
+
+    /** Process name for logs and reports ("poisson", "bursts", ...). */
+    virtual const char* name() const = 0;
+
+  protected:
+    double cursor_ = 0.0;
+};
+
+/** Which ArrivalProcess to build; selected via TAILBENCH_ARRIVAL. */
+enum class ArrivalKind {
+    kPoisson,  // exponential gaps — the paper's open-loop baseline
+    kBursts,   // MMPP-style on/off: bursts at ratio*qps, idle valleys
+    kDiurnal,  // sinusoidal rate modulation around qps
+    kTrace,    // replayed interarrival gaps from a file
+};
+
+const char* arrivalKindName(ArrivalKind kind);
+
+/**
+ * Arrival-process selection + per-process knobs. The shape knobs are
+ * scale-free (expressed in expected-arrival counts or ratios, not
+ * seconds) so one spec stresses any qps equally.
+ */
+struct ArrivalSpec {
+    ArrivalKind kind = ArrivalKind::kPoisson;
+
+    // -- bursts (MMPP on/off) --
+    /** Burst-phase rate as a multiple of the mean rate (> 1). */
+    double burstRatio = 4.0;
+    /** Fraction of time spent in the burst phase (0 < duty < 1, and
+     * duty * ratio < 1 so the off phase keeps a positive rate). */
+    double burstDuty = 0.2;
+    /** Mean burst length in expected arrivals at the burst rate. */
+    double burstLen = 64.0;
+
+    // -- diurnal (sinusoidal modulation) --
+    /** Peak-to-mean amplitude in (0, 1): rate swings qps*(1 +/- amp). */
+    double diurnalAmp = 0.5;
+    /** Modulation period in expected arrivals at the mean rate. */
+    double periodReqs = 2000.0;
+
+    // -- trace --
+    /** File of interarrival gaps in ns, one per line ('#' comments);
+     * gaps are normalized to the target mean rate and replayed
+     * cyclically. Unreadable/empty falls back to Poisson (warns). */
+    std::string tracePath;
+
+    /** Reads TAILBENCH_ARRIVAL and the TAILBENCH_ARRIVAL_* shape
+     * knobs through the blessed util/env.h seam. */
+    static ArrivalSpec fromEnv();
+};
+
+/**
+ * Builds the process for @p spec at mean rate @p qps (arrivals/sec).
+ * Invalid shape knobs are clamped with a warning; a trace that cannot
+ * be loaded degrades to Poisson with a warning. Never returns null.
+ */
+std::unique_ptr<ArrivalProcess> makeArrivalProcess(const ArrivalSpec& spec,
+                                                   double qps);
+
+/**
+ * Convenience for offline consumers (trace generation, tests): emits
+ * @p n absolute arrival times starting from @p originNs.
+ */
+std::vector<double> emitSchedule(ArrivalProcess& process, util::Rng& rng,
+                                 uint64_t n, double originNs);
+
+}  // namespace tb::core
+
+#endif  // TAILBENCH_CORE_ARRIVAL_H_

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "core/arrival.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -33,9 +34,9 @@ LoadClient::run(apps::App& app, const HarnessConfig& cfg,
         }
     });
 
-    // Open-loop generator (this thread): exponential interarrival gaps
-    // laid out as an absolute schedule from the start time. genNs is
-    // the *scheduled* arrival; sleepUntilNs returns immediately if the
+    // Open-loop generator (this thread): the arrival process lays out
+    // an absolute schedule from the start time. genNs is the
+    // *scheduled* arrival; sleepUntilNs returns immediately if the
     // generator has fallen behind, so the schedule never stretches to
     // accommodate a slow server.
     //
@@ -43,17 +44,21 @@ LoadClient::run(apps::App& app, const HarnessConfig& cfg,
     // so a slow generator — or an expensive transport send, e.g. a
     // per-request TCP connect — can fall behind its own schedule,
     // shrinking the offered load below nominal without any visible
-    // failure. Track the worst lag (actual send completion vs.
+    // failure. Track per-request lag (actual send completion vs.
     // scheduled arrival) so such runs are detectable instead of
-    // silently optimistic.
+    // silently optimistic — per window, and through the
+    // coordinated-omission self-check in buildRunResult.
     int64_t max_lag_ns = 0;
+    std::vector<GenLagSample> gen_lag;
+    gen_lag.reserve(cfg.measuredRequests);
     {
         util::Rng rng(cfg.seed);
-        const double gap_mean_ns = 1e9 / cfg.qps;
-        double next = static_cast<double>(util::monotonicNs()) + 1000.0;
+        const std::unique_ptr<ArrivalProcess> process =
+            makeArrivalProcess(cfg.arrival, cfg.qps);
+        process->reset(static_cast<double>(util::monotonicNs()) + 1000.0);
         for (uint64_t i = 0; i < total; i++) {
-            next += rng.nextExponential(gap_mean_ns);
-            const int64_t scheduled = static_cast<int64_t>(next);
+            const int64_t scheduled =
+                static_cast<int64_t>(process->nextArrivalNs(rng));
             Request req;
             req.id = i;
             req.payload = app.genRequest(rng);
@@ -63,22 +68,31 @@ LoadClient::run(apps::App& app, const HarnessConfig& cfg,
             const int64_t lag = util::monotonicNs() - scheduled;
             if (lag > max_lag_ns)
                 max_lag_ns = lag;
+            if (i >= cfg.warmupRequests)
+                gen_lag.push_back({scheduled, lag > 0 ? lag : 0});
         }
     }
     transport.finishSend();
     collector.join();
 
-    return finalize(std::move(timings), cfg, max_lag_ns);
+    return finalize(std::move(timings), cfg, max_lag_ns,
+                    std::move(gen_lag));
 }
 
 RunResult
 LoadClient::finalize(std::vector<RequestTiming>&& timings,
-                     const HarnessConfig& cfg, int64_t maxGenLagNs)
+                     const HarnessConfig& cfg, int64_t maxGenLagNs,
+                     std::vector<GenLagSample>&& genLag)
 {
-    RunResult result =
-        buildRunResult(std::move(timings), cfg.keepSamples);
-    result.maxGenLagNs = maxGenLagNs;
     const double gap_mean_ns = cfg.qps > 0.0 ? 1e9 / cfg.qps : 0.0;
+    ResultOptions opts;
+    opts.keepSamples = cfg.keepSamples;
+    opts.windows = cfg.windows;
+    opts.sloTargetNs = cfg.sloTargetNs;
+    opts.scheduledMeanGapNs = gap_mean_ns;
+    opts.genLag = genLag.empty() ? nullptr : &genLag;
+    RunResult result = buildRunResult(std::move(timings), opts);
+    result.maxGenLagNs = maxGenLagNs;
     if (gap_mean_ns > 0.0 &&
         static_cast<double>(maxGenLagNs) > gap_mean_ns)
         TB_LOG_WARN("open-loop generator fell %.1f us behind its "

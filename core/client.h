@@ -4,10 +4,11 @@
 /**
  * @file
  * The client half of the harness API: the one place that owns the
- * open-loop Poisson schedule, generation-time stamping, warmup
- * separation, generator-lag tracking and result building. Every
- * real-time configuration is "LoadClient + some Transport"; the
- * methodology lives here exactly once.
+ * open-loop arrival schedule (drawn from the pluggable
+ * core::ArrivalProcess — Poisson baseline, bursts, diurnal, trace),
+ * generation-time stamping, warmup separation, generator-lag tracking
+ * and result building. Every real-time configuration is "LoadClient +
+ * some Transport"; the methodology lives here exactly once.
  *
  * Threading: run() uses the calling thread as the generator (genNs is
  * the *scheduled* arrival, stamped before sendRequest — a slow server
@@ -37,14 +38,17 @@ class LoadClient {
 
     /**
      * Shared result-building tail, also used by the virtual-time
-     * SimHarness: buildRunResult + the generator-lag accounting
-     * (records maxGenLagNs and warns when the lag exceeds one mean
-     * interarrival gap — the run's offered load was silently below
-     * nominal).
+     * SimHarness: buildRunResult with the config's windows/SLO knobs
+     * + the generator-lag accounting (records maxGenLagNs and warns
+     * when the lag exceeds one mean interarrival gap — the run's
+     * offered load was silently below nominal). @p genLag, when
+     * non-empty, feeds per-window lag and the coordinated-omission
+     * self-check; virtual-time callers leave it empty.
      */
     static RunResult finalize(std::vector<RequestTiming>&& timings,
                               const HarnessConfig& cfg,
-                              int64_t maxGenLagNs);
+                              int64_t maxGenLagNs,
+                              std::vector<GenLagSample>&& genLag = {});
 };
 
 }  // namespace tb::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
 #include "util/stats.h"
 
 namespace tb::core {
@@ -24,10 +25,32 @@ summarizeNs(const std::vector<int64_t>& samples)
     return s;
 }
 
+namespace {
+
+/** Window index for a generation timestamp: equal-width split of
+ * [first, first+span], clamped so the last arrival lands in the last
+ * window and stray genLag samples cannot index out of range. */
+size_t
+windowIndex(int64_t genNs, int64_t firstGenNs, int64_t spanNs, size_t nwin)
+{
+    if (spanNs <= 0 || nwin <= 1)
+        return 0;
+    const int64_t off = genNs - firstGenNs;
+    if (off <= 0)
+        return 0;
+    const auto scaled = static_cast<size_t>(
+        (static_cast<__int128>(off) * static_cast<__int128>(nwin)) / spanNs);
+    return scaled >= nwin ? nwin - 1 : scaled;
+}
+
+}  // namespace
+
 RunResult
-buildRunResult(std::vector<RequestTiming>&& timings, bool keepSamples)
+buildRunResult(std::vector<RequestTiming>&& timings,
+               const ResultOptions& opts)
 {
     RunResult r;
+    r.sloTargetNs = opts.sloTargetNs;
     if (timings.empty())
         return r;
     std::sort(timings.begin(), timings.end(),
@@ -42,15 +65,21 @@ buildRunResult(std::vector<RequestTiming>&& timings, bool keepSamples)
     queueing.reserve(timings.size());
     service.reserve(timings.size());
     int64_t last_end = timings.front().endNs;
+    uint64_t slo_met = 0;
     for (const RequestTiming& t : timings) {
         sojourn.push_back(t.sojournNs());
         queueing.push_back(t.queueNs());
         service.push_back(t.serviceNs());
         last_end = std::max(last_end, t.endNs);
+        if (opts.sloTargetNs > 0 && t.sojournNs() <= opts.sloTargetNs)
+            slo_met++;
     }
     r.latency.sojourn = summarizeNs(sojourn);
     r.latency.queueing = summarizeNs(queueing);
     r.latency.service = summarizeNs(service);
+    if (opts.sloTargetNs > 0)
+        r.sloAttainment = static_cast<double>(slo_met) /
+            static_cast<double>(timings.size());
 
     // Span: first measured arrival to last measured completion. Under
     // overload completions stretch the span, so achieved < offered.
@@ -59,9 +88,108 @@ buildRunResult(std::vector<RequestTiming>&& timings, bool keepSamples)
         r.achievedQps = static_cast<double>(timings.size()) * 1e9 /
             static_cast<double>(span);
 
-    if (keepSamples)
+    // Windowed accounting over the generation-time axis. Default window
+    // count scales with the sample size so each window keeps enough
+    // samples (>= ~40) for its p99 to mean something.
+    const int64_t first_gen = timings.front().genNs;
+    const int64_t gen_span = timings.back().genNs - first_gen;
+    size_t nwin;
+    if (opts.windows > 0) {
+        nwin = std::min<size_t>(opts.windows, 256);
+    } else {
+        nwin = std::max<size_t>(
+            1, std::min<size_t>(12, timings.size() / 40));
+    }
+    if (gen_span <= 0)
+        nwin = 1;
+    r.windows.resize(nwin);
+    std::vector<std::vector<int64_t>> win_sojourn(nwin);
+    std::vector<uint64_t> win_slo_met(nwin, 0);
+    for (size_t w = 0; w < nwin; w++) {
+        r.windows[w].startNs = first_gen +
+            static_cast<int64_t>(static_cast<__int128>(gen_span) * w / nwin);
+        r.windows[w].endNs = first_gen +
+            static_cast<int64_t>(
+                static_cast<__int128>(gen_span) * (w + 1) / nwin);
+    }
+    for (const RequestTiming& t : timings) {
+        const size_t w = windowIndex(t.genNs, first_gen, gen_span, nwin);
+        win_sojourn[w].push_back(t.sojournNs());
+        if (opts.sloTargetNs > 0 && t.sojournNs() <= opts.sloTargetNs)
+            win_slo_met[w]++;
+    }
+    if (opts.genLag) {
+        for (const GenLagSample& s : *opts.genLag) {
+            const size_t w =
+                windowIndex(s.genNs, first_gen, gen_span, nwin);
+            r.windows[w].maxGenLagNs =
+                std::max(r.windows[w].maxGenLagNs, s.lagNs);
+        }
+    }
+    for (size_t w = 0; w < nwin; w++) {
+        WindowStats& ws = r.windows[w];
+        ws.count = win_sojourn[w].size();
+        const LatencySummary s = summarizeNs(win_sojourn[w]);
+        ws.sojournP50Ns = s.p50Ns;
+        ws.sojournP95Ns = s.p95Ns;
+        ws.sojournP99Ns = s.p99Ns;
+        if (opts.sloTargetNs > 0 && ws.count > 0)
+            ws.sloFrac = static_cast<double>(win_slo_met[w]) /
+                static_cast<double>(ws.count);
+        if (opts.scheduledMeanGapNs > 0.0 &&
+            static_cast<double>(ws.maxGenLagNs) > opts.scheduledMeanGapNs)
+            ws.genLagged = true;
+    }
+
+    // Coordinated-omission self-check: compare the achieved send
+    // timeline (scheduled arrival + generator lag) against the
+    // scheduled one. A generator silently degraded to closed-loop
+    // stretches the send span and sends a large fraction of requests
+    // late; either signal flags the run.
+    if (opts.genLag && !opts.genLag->empty() &&
+        opts.scheduledMeanGapNs > 0.0) {
+        int64_t sched_min = opts.genLag->front().genNs;
+        int64_t sched_max = sched_min;
+        int64_t send_min = sched_min + opts.genLag->front().lagNs;
+        int64_t send_max = send_min;
+        uint64_t late = 0;
+        for (const GenLagSample& s : *opts.genLag) {
+            sched_min = std::min(sched_min, s.genNs);
+            sched_max = std::max(sched_max, s.genNs);
+            send_min = std::min(send_min, s.genNs + s.lagNs);
+            send_max = std::max(send_max, s.genNs + s.lagNs);
+            if (static_cast<double>(s.lagNs) > opts.scheduledMeanGapNs)
+                late++;
+        }
+        const double sched_span =
+            static_cast<double>(sched_max - sched_min);
+        if (sched_span > 0.0)
+            r.coSpanStretch =
+                static_cast<double>(send_max - send_min) / sched_span;
+        r.coLateFrac = static_cast<double>(late) /
+            static_cast<double>(opts.genLag->size());
+        r.coSuspect = r.coSpanStretch > 1.05 || r.coLateFrac > 0.2;
+        if (r.coSuspect)
+            TB_LOG_WARN(
+                "coordinated-omission check: achieved send span is "
+                "%.2fx the scheduled span and %.0f%% of requests went "
+                "out more than one mean gap late — the generator "
+                "degraded toward closed-loop; treat tails as lower "
+                "bounds",
+                r.coSpanStretch, r.coLateFrac * 100.0);
+    }
+
+    if (opts.keepSamples)
         r.samples = std::move(timings);
     return r;
+}
+
+RunResult
+buildRunResult(std::vector<RequestTiming>&& timings, bool keepSamples)
+{
+    ResultOptions opts;
+    opts.keepSamples = keepSamples;
+    return buildRunResult(std::move(timings), opts);
 }
 
 }  // namespace tb::core

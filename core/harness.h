@@ -29,11 +29,12 @@
 #include <vector>
 
 #include "apps/common/app.h"
+#include "core/arrival.h"
 
 namespace tb::core {
 
 struct HarnessConfig {
-    /** Offered load: mean arrival rate of the Poisson process. */
+    /** Offered load: mean arrival rate of the arrival process. */
     double qps = 1000.0;
     unsigned workerThreads = 1;
     /** Leading requests processed but excluded from every statistic
@@ -47,6 +48,14 @@ struct HarnessConfig {
      * per-worker-shard measurements are not confounded by OS thread
      * migration. Real-time harnesses only; the simulator ignores it. */
     bool pinWorkers = false;
+    /** Which arrival process shapes the request stream (core/arrival.h).
+     * Defaults to the paper's open-loop Poisson baseline. */
+    ArrivalSpec arrival;
+    /** SLO target on sojourn latency; 0 disables SLO accounting. */
+    int64_t sloTargetNs = 0;
+    /** Number of equal-width reporting windows over the measured span
+     * (RunResult::windows). 0 picks a default from the sample count. */
+    unsigned windows = 0;
 };
 
 /** Timestamps of one request's life cycle, all from the same
@@ -75,6 +84,57 @@ struct LatencyReport {
     LatencySummary service;
 };
 
+/** One generator-side lag observation: how far behind its own
+ * schedule the open-loop generator was when it sent the request
+ * scheduled at genNs (0 when on time; virtual-time harnesses have
+ * no lag by construction). */
+struct GenLagSample {
+    int64_t genNs = 0;
+    int64_t lagNs = 0;
+};
+
+/**
+ * Tail percentiles and generator health over one reporting window of
+ * the measured span. Windowed accounting is what makes bursty runs
+ * honest: a burst that overwhelms the server — or degrades the
+ * generator into closed-loop behavior — is flagged in the window
+ * where it happened instead of being averaged away end-of-run.
+ */
+struct WindowStats {
+    int64_t startNs = 0;  // window bounds on the generation-time axis
+    int64_t endNs = 0;
+    uint64_t count = 0;   // requests generated in this window
+    int64_t sojournP50Ns = 0;
+    int64_t sojournP95Ns = 0;
+    int64_t sojournP99Ns = 0;
+    /** Worst generator lag for requests in this window (needs the
+     * caller to pass GenLagSamples; 0 otherwise). */
+    int64_t maxGenLagNs = 0;
+    /** Fraction of this window's requests with sojourn <= the SLO
+     * target; -1 when no target was configured. */
+    double sloFrac = -1.0;
+    /** True when maxGenLagNs exceeds one mean interarrival gap: the
+     * offered load in this window was below nominal. */
+    bool genLagged = false;
+};
+
+/** Knobs for buildRunResult beyond the legacy keepSamples flag. */
+struct ResultOptions {
+    bool keepSamples = false;
+    /** Reporting windows; 0 = pick from sample count (see
+     * buildRunResult), clamped to [1, 256]. */
+    unsigned windows = 0;
+    /** SLO target on sojourn; 0 disables attainment accounting. */
+    int64_t sloTargetNs = 0;
+    /** Scheduled mean interarrival gap (1e9/qps); enables the
+     * per-window genLagged flag and the coordinated-omission
+     * self-check. 0 disables both. */
+    double scheduledMeanGapNs = 0.0;
+    /** Generator-side lag series (sorted or not; matched to windows
+     * by genNs). Optional; real-time clients record it. */
+    const std::vector<GenLagSample>* genLag = nullptr;
+};
+
 struct RunResult {
     /** Measured completions / measured wall-clock span. */
     double achievedQps = 0.0;
@@ -100,6 +160,28 @@ struct RunResult {
     /** Per-request timings (measured window only), in generation
      * order; populated only when HarnessConfig::keepSamples. */
     std::vector<RequestTiming> samples;
+
+    /** SLO target the run was scored against (0 = none). */
+    int64_t sloTargetNs = 0;
+    /** Fraction of measured requests with sojourn <= sloTargetNs;
+     * -1 when no target was configured. */
+    double sloAttainment = -1.0;
+    /** Equal-width windows over the measured generation-time span. */
+    std::vector<WindowStats> windows;
+
+    /**
+     * Coordinated-omission self-check (Tell-Tale Tail Latencies): a
+     * generator that stretches its schedule to match a slow server
+     * degrades open-loop into closed-loop and silently under-reports
+     * queueing delay. coSpanStretch compares the achieved send span
+     * (scheduled arrival + lag) against the scheduled span; coLateFrac
+     * is the fraction of requests sent more than one mean gap late.
+     * coSuspect flags the run (and warns) when either diverges. Only
+     * computed when ResultOptions carries genLag + scheduledMeanGapNs.
+     */
+    double coSpanStretch = 1.0;
+    double coLateFrac = 0.0;
+    bool coSuspect = false;
 };
 
 class Harness {
@@ -120,10 +202,16 @@ LatencySummary summarizeNs(const std::vector<int64_t>& samples);
 
 /**
  * Shared post-processing: sorts timings by generation time, computes
- * the achieved QPS over the measured span and the three latency
- * summaries, and moves the timings into RunResult::samples when
+ * the achieved QPS over the measured span, the three latency
+ * summaries, per-window tail percentiles and generator-lag, SLO
+ * attainment, and the coordinated-omission self-check (which warns
+ * when it fires). Moves the timings into RunResult::samples when
  * requested.
  */
+RunResult buildRunResult(std::vector<RequestTiming>&& timings,
+                         const ResultOptions& opts);
+
+/** Legacy convenience: aggregates only, no windows/SLO/CO check. */
 RunResult buildRunResult(std::vector<RequestTiming>&& timings,
                          bool keepSamples);
 

@@ -858,7 +858,7 @@ LoopbackHarness::run(apps::App& app, const core::HarnessConfig& cfg)
     core::ServiceOptions sopts;
     sopts.pinWorkers = cfg.pinWorkers;
     TcpServer server(app, workers, 0, true, opts_.port, sopts,
-                     ioOptionsFromEnv());
+                     opts_.useEnvIo ? ioOptionsFromEnv() : opts_.io);
     if (!server.listening()) {
         TB_LOG_ERROR("loopback harness: could not listen on "
                      "127.0.0.1");

@@ -251,6 +251,13 @@ struct LoopbackOptions {
     /** Server-side request-queue policy (shards == 0 resolves to the
      * run's worker count). */
     core::PortOptions port;
+    /** True (default): the server's IO backend comes from
+     * ioOptionsFromEnv() so TAILBENCH_IO_MODE flips this harness like
+     * every other. False: use the programmatic `io` below — for
+     * drivers that compare or pin backends (fig10's sweeps, fig11's
+     * pinned reactor column) regardless of the environment. */
+    bool useEnvIo = true;
+    IoOptions io;
 };
 
 class LoopbackHarness final : public core::Harness {

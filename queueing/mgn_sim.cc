@@ -4,8 +4,10 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <queue>
 
+#include "core/arrival.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -42,7 +44,9 @@ simulateTimings(const std::vector<int64_t>& samples, const MgnConfig& cfg)
 
     util::Rng arrival_rng(util::mix64(cfg.seed, 0x41525249564ecull));
     util::Rng service_rng(util::mix64(cfg.seed, 0x5345525649434cull));
-    const double mean_gap_ns = 1e9 / cfg.lambda;
+    const std::unique_ptr<core::ArrivalProcess> process =
+        core::makeArrivalProcess(cfg.arrival, cfg.lambda);
+    process->reset(0.0);
 
     std::priority_queue<int64_t, std::vector<int64_t>,
                         std::greater<int64_t>>
@@ -52,10 +56,9 @@ simulateTimings(const std::vector<int64_t>& samples, const MgnConfig& cfg)
 
     const uint64_t total = cfg.warmup + cfg.measured;
     timings.reserve(cfg.measured);
-    double arrival_ns = 0.0;
     for (uint64_t i = 0; i < total; i++) {
-        arrival_ns += arrival_rng.nextExponential(mean_gap_ns);
-        const int64_t gen = std::llround(arrival_ns);
+        const int64_t gen =
+            std::llround(process->nextArrivalNs(arrival_rng));
         const int64_t svc = std::max<int64_t>(
             0, samples[service_rng.nextInt(samples.size())]);
         const int64_t start = std::max(gen, server_free.top());
@@ -118,8 +121,14 @@ EmpiricalQueueHarness::run(apps::App& app, const core::HarnessConfig& cfg)
     qc.warmup = cfg.warmupRequests;
     qc.measured = cfg.measuredRequests;
     qc.seed = cfg.seed;
-    return core::buildRunResult(simulateTimings(samples_, qc),
-                                cfg.keepSamples);
+    qc.arrival = cfg.arrival;
+    // Virtual-time arrivals never lag their own schedule, so no
+    // genLag series; windows/SLO still apply.
+    core::ResultOptions opts;
+    opts.keepSamples = cfg.keepSamples;
+    opts.windows = cfg.windows;
+    opts.sloTargetNs = cfg.sloTargetNs;
+    return core::buildRunResult(simulateTimings(samples_, qc), opts);
 }
 
 }  // namespace tb::queueing

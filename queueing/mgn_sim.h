@@ -7,10 +7,11 @@
  * Sec. VII case-study baseline).
  *
  * simulateMgn runs a deterministic discrete-event simulation in
- * virtual nanoseconds: open-loop Poisson arrivals at rate lambda, one
- * FCFS central queue, n identical servers, and per-request service
- * times resampled (with replacement) from a measured service-time
- * vector. That is the "what if adding threads had no overhead" model:
+ * virtual nanoseconds: open-loop arrivals at mean rate lambda (from
+ * the pluggable core::ArrivalProcess — Poisson by default, which is
+ * the classic M/G/n), one FCFS central queue, n identical servers,
+ * and per-request service times resampled (with replacement) from a
+ * measured service-time vector. That is the "what if adding threads had no overhead" model:
  * the service distribution is the app's real one, but there is no
  * synchronization, no memory contention, no OS — only queueing. An
  * ideal-memory full simulation that still falls short of M/G/n is
@@ -34,7 +35,7 @@
 namespace tb::queueing {
 
 struct MgnConfig {
-    /** Offered load: mean Poisson arrival rate, requests per second. */
+    /** Offered load: mean arrival rate, requests per second. */
     double lambda = 1000.0;
     /** n: parallel servers draining the single FCFS queue. */
     unsigned servers = 1;
@@ -42,6 +43,11 @@ struct MgnConfig {
     uint64_t warmup = 0;
     uint64_t measured = 10000;
     uint64_t seed = 42;
+    /** Arrival process shaping the input stream (core/arrival.h). The
+     * Poisson default is the classic M/G/n; bursts/diurnal/trace turn
+     * the model into MMPP/G/n etc., so the analytic assumptions can be
+     * stressed with non-Poisson input at equal mean load. */
+    core::ArrivalSpec arrival;
 };
 
 /** Latency decomposition of one model run (virtual time, so there is

@@ -4,9 +4,10 @@ against conservative floor thresholds.
 
 Usage: perf_check.py [dir-with-BENCH_*.json]   (default: cwd)
 
-Reads BENCH_fig10.json and BENCH_microbench_hotpath.json, produced by
-running fig10_connection_scaling and microbench_hotpath in the given
-directory, and checks the hot-path PR's headline claims:
+Reads BENCH_fig10.json, BENCH_microbench_hotpath.json, and
+BENCH_fig11.json, produced by running fig10_connection_scaling,
+microbench_hotpath, and fig11_burst_scenarios in the given directory,
+and checks the headline claims:
 
   fig10      the reactor backend's saturation QPS at the largest
              connection count must clear an absolute floor — a
@@ -17,6 +18,12 @@ directory, and checks the hot-path PR's headline claims:
              the operator-new hook is compiled out, i.e. sanitizer
              builds), and response-write coalescing must save >= 4x
              syscalls versus the per-frame path.
+  fig11      the arrival processes must deliver equal mean load (per
+             harness, max/min achieved QPS across processes <= 1.3 —
+             a process that silently under-drives would fake a better
+             tail), and burst tails must dominate: bursts p99 >=
+             poisson p99 per harness, else the arrival seam is not
+             actually shaping the schedule.
 
 Exit codes: 0 all checks pass, 1 a check failed, 2 a report is
 missing/unparseable. CI runs this step with continue-on-error — the
@@ -34,6 +41,11 @@ import sys
 FIG10_REACTOR_MIN_SAT_QPS = 2000.0
 ARENA_MAX_ALLOCS_PER_REQ = 0.01
 MIN_COALESCING_WRITE_RATIO = 4.0
+# "Equal mean load" tolerance: the processes share one offered rate;
+# achieved QPS may wobble with scheduler noise and end-of-run idle
+# gaps (diurnal troughs), but a 30% spread means a process is not
+# actually delivering its mean.
+FIG11_MAX_ACHIEVED_SPREAD = 1.3
 
 
 def load(path):
@@ -114,16 +126,76 @@ def check_microbench(report):
     return failures
 
 
+def check_fig11(report):
+    """Equal mean load across processes; burst tails dominate."""
+    failures = []
+    by_config = {}  # harness config -> process -> point
+    for point in report.get("points", []):
+        cfg = point.get("config", "?")
+        by_config.setdefault(cfg, {})[point.get("process", "?")] = point
+    if not by_config:
+        return ["fig11: report carries no points"]
+    for cfg, procs in sorted(by_config.items()):
+        achieved = [
+            p["achieved_qps"]
+            for p in procs.values()
+            if isinstance(p.get("achieved_qps"), (int, float))
+            and p["achieved_qps"] > 0
+        ]
+        if len(achieved) < 2:
+            failures.append(f"fig11: {cfg} lacks achieved_qps points")
+        else:
+            spread = max(achieved) / min(achieved)
+            if spread > FIG11_MAX_ACHIEVED_SPREAD:
+                failures.append(
+                    f"fig11: {cfg} achieved-QPS spread {spread:.2f}x "
+                    f"across processes (must be <= "
+                    f"{FIG11_MAX_ACHIEVED_SPREAD}x for an equal-mean-"
+                    f"load comparison)"
+                )
+            else:
+                print(
+                    f"perf_check: fig11 {cfg} achieved-QPS spread "
+                    f"{spread:.2f}x (<= {FIG11_MAX_ACHIEVED_SPREAD}x) ok"
+                )
+        poisson = procs.get("poisson", {}).get("p99_ns")
+        bursts = procs.get("bursts", {}).get("p99_ns")
+        if not isinstance(poisson, (int, float)) or not isinstance(
+            bursts, (int, float)
+        ):
+            failures.append(
+                f"fig11: {cfg} lacks poisson/bursts p99_ns points"
+            )
+        elif bursts < poisson:
+            failures.append(
+                f"fig11: {cfg} bursts p99 {bursts / 1e6:.2f} ms is "
+                f"below poisson p99 {poisson / 1e6:.2f} ms — the "
+                f"arrival seam is not shaping the schedule"
+            )
+        else:
+            print(
+                f"perf_check: fig11 {cfg} bursts p99 "
+                f"{bursts / 1e6:.2f} ms >= poisson p99 "
+                f"{poisson / 1e6:.2f} ms ok"
+            )
+    return failures
+
+
 def main():
     where = sys.argv[1] if len(sys.argv) > 1 else "."
     reports = {
         name: load(os.path.join(where, name))
-        for name in ("BENCH_fig10.json", "BENCH_microbench_hotpath.json")
+        for name in (
+            "BENCH_fig10.json",
+            "BENCH_microbench_hotpath.json",
+            "BENCH_fig11.json",
+        )
     }
     if any(r is None for r in reports.values()):
         return 2
     failures = check_fig10(reports["BENCH_fig10.json"])
     failures += check_microbench(reports["BENCH_microbench_hotpath.json"])
+    failures += check_fig11(reports["BENCH_fig11.json"])
     for f in failures:
         print(f"perf_check: FAIL: {f}")
     if not failures:

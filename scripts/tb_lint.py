@@ -24,6 +24,12 @@ this repo has been burned by, or nearly so):
                 select/std::this_thread::sleep_for) in net/reactor.cc
                 — one blocked loop thread stalls every connection it
                 owns. epoll_wait is the loop's one sanctioned wait.
+  arrival-seam  no inline interarrival sampling (nextExponential) in
+                measurement-path or bench code outside core/arrival.cc
+                — hand-rolled schedules drift from the pluggable
+                ArrivalProcess seam, and a driver that samples its own
+                gaps silently ignores TAILBENCH_ARRIVAL. Tests and
+                util/ (the RNG's own home) are exempt.
 
 A line ending in `// tb-lint: allow(<rule>)` waives that rule for
 that line; the waiver is grep-able, so exceptions stay auditable.
@@ -44,6 +50,8 @@ CXX_EXT = (".cc", ".h")
 ENV_SEAM_ALLOWED = {"util/env.cc"}
 MEASUREMENT_DIRS = ("core", "sim", "queueing", "net", "apps")
 CLOCK_SEAM_ALLOWED = {"util/clock.h", "util/clock.cc"}
+ARRIVAL_SEAM_DIRS = ("core", "sim", "queueing", "net", "apps", "bench")
+ARRIVAL_SEAM_ALLOWED = {"core/arrival.cc"}
 
 ALLOW_RE = re.compile(r"//\s*tb-lint:\s*allow\(([a-z-]+)\)\s*$")
 LINE_COMMENT_RE = re.compile(r"//.*$")
@@ -54,6 +62,7 @@ SYSCLOCK_RE = re.compile(r"std::chrono::system_clock")
 BLOCKING_RE = re.compile(
     r"(?<![\w.])(?:::)?(?:sleep|usleep|nanosleep|poll|select)\s*\("
     r"|std::this_thread::sleep_for")
+NEXT_EXP_RE = re.compile(r"\bnextExponential\s*\(")
 
 ADD_TEST_RE = re.compile(r"add_test\s*\(\s*NAME\s+([^\s)]+)", re.I)
 PROPS_RE = re.compile(r"set_tests_properties\s*\(([^)]*)\)",
@@ -108,6 +117,8 @@ def check_cxx(path, findings):
     r = rel(path)
     in_measurement = r.startswith(tuple(d + "/" for d in
                                         MEASUREMENT_DIRS))
+    in_arrival_scope = r.startswith(tuple(d + "/" for d in
+                                          ARRIVAL_SEAM_DIRS))
     with open(path, encoding="utf-8") as f:
         for lineno, raw in enumerate(f, 1):
             line = LINE_COMMENT_RE.sub("", strip_strings(raw))
@@ -133,6 +144,15 @@ def check_cxx(path, findings):
                          "system_clock in measurement-path code — "
                          "timestamps come from util/clock.h "
                          "(monotonic)"))
+
+            if (in_arrival_scope and r not in ARRIVAL_SEAM_ALLOWED
+                    and NEXT_EXP_RE.search(line)
+                    and not waived(raw, "arrival-seam")):
+                findings.append(
+                    (r, lineno, "arrival-seam",
+                     "inline interarrival sampling outside "
+                     "core/arrival.cc — schedule through the "
+                     "pluggable ArrivalProcess seam"))
 
             if (r == "net/reactor.cc" and BLOCKING_RE.search(line)
                     and not waived(raw, "reactor-block")):

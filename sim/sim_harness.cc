@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
+#include "core/arrival.h"
 #include "core/client.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -116,11 +118,13 @@ SimHarness::run(apps::App& app, const core::HarnessConfig& cfg)
     const double l3_mpki_eff = effectiveL3Mpki(machine_, profile);
 
     // Same generator structure (and Rng consumption order) as the
-    // integrated harness, so one seed means one request stream across
-    // harness configurations — arrivals just live in virtual time.
+    // integrated harness — the shared core::ArrivalProcess seam — so
+    // one seed means one request stream across harness
+    // configurations; arrivals just live in virtual time.
     util::Rng rng(cfg.seed);
-    const double gap_mean_ns = 1e9 / cfg.qps;
-    double next = 1000.0;
+    const std::unique_ptr<core::ArrivalProcess> process =
+        core::makeArrivalProcess(cfg.arrival, cfg.qps);
+    process->reset(1000.0);
 
     // free_at[c]: virtual instant core c finishes its backlog. FCFS
     // central dispatch: each arrival goes to the earliest-free core,
@@ -133,8 +137,7 @@ SimHarness::run(apps::App& app, const core::HarnessConfig& cfg)
     double cycles = 0.0;
     uint64_t wakeups = 0;
     for (uint64_t i = 0; i < total; i++) {
-        next += rng.nextExponential(gap_mean_ns);
-        const double arrival = next;
+        const double arrival = process->nextArrivalNs(rng);
         const std::string payload = app.genRequest(rng);
         const apps::RequestCost cost = app.costFor(payload);
         const double service =
